@@ -1,0 +1,78 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports, then asserts the qualitative
+shape (who wins, growth order, approximate factor, crossover position).
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — reduced sweeps/runs; minutes, same shapes;
+* ``paper`` — the full Section V configuration (320-640 nodes, 500
+  queries, 10 runs); expect a long run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|paper, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def settings(scale) -> ExperimentSettings:
+    if scale == "paper":
+        return ExperimentSettings.paper()
+    # Reduced: fewer queries and runs, paper-default structure otherwise.
+    return ExperimentSettings.paper().with_(num_queries=60, runs=1)
+
+
+@pytest.fixture(scope="session")
+def node_sweep(scale):
+    if scale == "paper":
+        return tuple(range(64, 641, 64))
+    return (64, 192, 320)
+
+
+@pytest.fixture(scope="session")
+def dimension_sweep(scale):
+    if scale == "paper":
+        return tuple(range(2, 9))
+    return (2, 4, 6, 8)
+
+
+@pytest.fixture(scope="session")
+def records_sweep(scale):
+    if scale == "paper":
+        return (50, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+    return (50, 200, 500)
+
+
+@pytest.fixture(scope="session")
+def overlap_sweep(scale):
+    if scale == "paper":
+        return tuple(range(1, 13))
+    return (1, 4, 8, 12)
+
+
+@pytest.fixture(scope="session")
+def degree_sweep(scale):
+    if scale == "paper":
+        return tuple(range(4, 13))
+    return (4, 8, 12)
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of a figure (no warmup repeats)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Ablation — categorical summaries: explicit value sets vs Bloom filters.
+
+Value sets are exact but grow with the vocabulary; Bloom filters are
+constant-size but admit false positives (extra forwarding, never missed
+results). This bench uses a categorical-heavy stream-processing workload
+to quantify both effects.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import print_table
+from repro.query import EqualsPredicate, Query, RangePredicate
+from repro.records import RecordStore, stream_processing_schema
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+
+
+def make_stores(n_nodes, records, seed):
+    schema = stream_processing_schema()
+    rng = np.random.default_rng(seed)
+    types = schema["type"].categories
+    encodings = schema["encoding"].categories
+    stores = []
+    for i in range(n_nodes):
+        numeric = np.column_stack(
+            [
+                rng.uniform(0, 10_000, records),  # rate_kbps
+                rng.uniform(0, 4096, records),  # resolution_x
+                rng.uniform(0, 2160, records),  # resolution_y
+                rng.random(records),  # uptime
+                rng.uniform(0, 100, records),  # cost
+            ]
+        )
+        # Each site carries a site-specific slice of sensor types.
+        local_types = rng.choice(types, size=2, replace=False)
+        cat_type = rng.choice(local_types, records).tolist()
+        cat_enc = rng.choice(encodings, records).tolist()
+        stores.append(
+            RecordStore.from_arrays(schema, numeric, [cat_type, cat_enc])
+        )
+    return schema, stores
+
+
+def test_bloom_ablation(benchmark, settings):
+    n_nodes = 64
+    schema, stores = make_stores(n_nodes, 150, settings.seed)
+    rng = np.random.default_rng(settings.seed)
+    queries = [
+        Query.of(
+            EqualsPredicate("type", str(rng.choice(schema["type"].categories))),
+            EqualsPredicate(
+                "encoding", str(rng.choice(schema["encoding"].categories))
+            ),
+            RangePredicate("rate_kbps", 0.0, float(rng.uniform(500, 10_000))),
+        )
+        for _ in range(30)
+    ]
+
+    def run():
+        rows = []
+        matches = {}
+        for kind, bloom_bits in (("set", 1024), ("bloom", 256), ("bloom", 64)):
+            label = kind if kind == "set" else f"bloom-{bloom_bits}"
+            cfg = RoadsConfig(
+                num_nodes=n_nodes,
+                records_per_node=150,
+                summary=SummaryConfig(
+                    histogram_buckets=200,
+                    categorical_summary=kind,
+                    bloom_bits=bloom_bits,
+                    bloom_hashes=3,
+                ),
+                seed=settings.seed,
+            )
+            system = RoadsSystem.build(cfg, stores)
+            contacted, got = [], []
+            for q in queries:
+                o = system.execute_query(q, client_node=0)
+                contacted.append(o.servers_contacted)
+                got.append(o.total_matches)
+            rows.append(
+                {
+                    "summary": label,
+                    "update_bytes_per_epoch": system.update_bytes_per_epoch(),
+                    "mean_servers_contacted": float(np.mean(contacted)),
+                }
+            )
+            matches[label] = got
+        return rows, matches
+
+    rows, matches = run_once(benchmark, run)
+    print()
+    print_table(rows, title="Ablation: categorical summary structure")
+
+    # No false negatives: all variants return identical results.
+    baseline = matches["set"]
+    for label, got in matches.items():
+        assert got == baseline, f"{label} changed query results"
+    # Tighter bloom filters cannot *reduce* fan-out below the exact sets'.
+    by = {r["summary"]: r["mean_servers_contacted"] for r in rows}
+    assert by["bloom-64"] >= by["set"] - 1e-9
+    assert by["bloom-256"] >= by["set"] - 1e-9

@@ -1,0 +1,63 @@
+"""Ablation — delta (change-detection) summary propagation.
+
+With records changing every t_r and summaries refreshed every t_s, most
+record updates land in the same histogram bucket and leave summaries
+untouched. Delta propagation sends a keep-alive instead of the full
+summary in that case; this bench measures the steady-state saving and the
+cost under genuine churn.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import build_workload, print_table
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+
+
+def test_delta_ablation(benchmark, settings):
+    s = settings.with_(num_nodes=min(settings.num_nodes, 128))
+    _, stores = build_workload(s, s.seed)
+    rng = np.random.default_rng(s.seed)
+
+    def run():
+        rows = []
+        for delta in (False, True):
+            cfg = RoadsConfig(
+                num_nodes=s.num_nodes,
+                records_per_node=s.records_per_node,
+                max_children=s.max_children,
+                summary=SummaryConfig(histogram_buckets=s.histogram_buckets),
+                delta_updates=delta,
+                seed=s.seed,
+            )
+            system = RoadsSystem.build(cfg, stores)
+            steady = system.refresh().total_bytes
+            # Churn epoch: 5% of one node's records jump buckets.
+            store = stores[0]
+            n_changed = max(1, len(store) // 20)
+            for row in range(n_changed):
+                store.update_numeric(
+                    row, "u0", float(rng.uniform(0.0, 1.0))
+                )
+            churn = system.refresh().total_bytes
+            rows.append(
+                {
+                    "delta_updates": delta,
+                    "steady_epoch_bytes": steady,
+                    "churn_epoch_bytes": churn,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print_table(rows, title="Ablation: delta summary propagation")
+
+    off, on = rows
+    # Steady state: delta mode is >10x cheaper.
+    assert on["steady_epoch_bytes"] < off["steady_epoch_bytes"] / 10
+    # Churn: delta re-ships only the changed path, still far below full.
+    assert on["churn_epoch_bytes"] < off["churn_epoch_bytes"]
+    # Under churn delta costs more than its own steady state.
+    assert on["churn_epoch_bytes"] > on["steady_epoch_bytes"]

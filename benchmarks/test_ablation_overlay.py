@@ -1,0 +1,67 @@
+"""Ablation — replication overlay on vs off.
+
+With the overlay, searches start at the client's own server and use the
+replicated sibling/ancestor summaries as shortcuts; without it (the basic
+hierarchy of Section III-A) every query starts at the root. The overlay
+should cut latency and eliminate the root hotspot, at identical results.
+"""
+
+import numpy as np
+from collections import Counter
+
+from conftest import run_once
+
+from repro.experiments import (
+    build_roads,
+    build_workload,
+    print_table,
+    trial_queries,
+)
+
+
+def test_overlay_ablation(benchmark, settings):
+    s = settings.with_(num_nodes=min(settings.num_nodes, 192))
+    wcfg, stores = build_workload(s, s.seed)
+    queries, clients = trial_queries(s, wcfg, s.seed)
+    queries, clients = queries[:40], clients[:40]
+    system = build_roads(s, stores, s.seed)
+    root_id = system.hierarchy.root.server_id
+
+    def run():
+        stats = {}
+        for use_overlay in (True, False):
+            lat, bytes_, root_hits, matches = [], [], 0, []
+            for q, c in zip(queries, clients):
+                o = system.execute_query(
+                    q, client_node=int(c), use_overlay=use_overlay
+                )
+                lat.append(o.latency)
+                bytes_.append(o.query_bytes)
+                matches.append(o.total_matches)
+                root_hits += int(root_id in o.arrivals)
+            stats["overlay" if use_overlay else "basic"] = {
+                "mean_latency_ms": float(np.mean(lat)) * 1000,
+                "mean_query_bytes": float(np.mean(bytes_)),
+                "root_hit_fraction": root_hits / len(queries),
+                "matches": matches,
+            }
+        return stats
+
+    stats = run_once(benchmark, run)
+    rows = [
+        {"mode": mode, **{k: v for k, v in st.items() if k != "matches"}}
+        for mode, st in stats.items()
+    ]
+    print()
+    print_table(rows, title="Ablation: replication overlay on/off")
+
+    # Identical results either way.
+    assert stats["overlay"]["matches"] == stats["basic"]["matches"]
+    # Basic hierarchy: every query hits the root; overlay: few do.
+    assert stats["basic"]["root_hit_fraction"] == 1.0
+    assert stats["overlay"]["root_hit_fraction"] < 0.7
+    # Overlay reduces latency (searches start closer to the data).
+    assert (
+        stats["overlay"]["mean_latency_ms"]
+        < stats["basic"]["mean_latency_ms"]
+    )

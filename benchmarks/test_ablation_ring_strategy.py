@@ -1,0 +1,76 @@
+"""Ablation — SWORD ring-selection strategy (first vs narrowest range).
+
+The paper's SWORD model resolves a query in a single ring. Which ring is
+chosen affects the segment length: the *narrowest* queried range visits
+the fewest servers. The paper's flat Figure 6 implies a fixed choice; this
+bench quantifies how much a smarter choice would have helped SWORD — and
+that ROADS' advantage does not depend on a strawman.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import build_workload, print_table, trial_queries
+from repro.sword import SwordConfig, SwordSystem
+from repro.query import Query, RangePredicate
+
+
+def test_ring_strategy_ablation(benchmark, settings):
+    s = settings.with_(num_nodes=min(settings.num_nodes, 192))
+    wcfg, stores = build_workload(s, s.seed)
+    # Mixed-width queries so the strategies actually differ.
+    rng = np.random.default_rng(s.seed)
+    queries = []
+    for _ in range(40):
+        wide_lo = rng.uniform(0, 0.3)
+        narrow_lo = rng.uniform(0, 0.9)
+        queries.append(
+            Query.of(
+                RangePredicate("u0", wide_lo, wide_lo + 0.7),
+                RangePredicate("u1", narrow_lo, min(1.0, narrow_lo + 0.1)),
+            )
+        )
+    clients = rng.integers(0, s.num_nodes, size=len(queries))
+
+    def run():
+        rows = []
+        matches = {}
+        for strategy in ("first", "narrowest"):
+            system = SwordSystem(
+                SwordConfig(
+                    num_nodes=s.num_nodes,
+                    records_per_node=s.records_per_node,
+                    ring_strategy=strategy,
+                    seed=s.seed,
+                ),
+                stores,
+            )
+            lat, qbytes, servers, got = [], [], [], []
+            for q, c in zip(queries, clients):
+                o = system.execute_query(q, int(c))
+                lat.append(o.latency)
+                qbytes.append(o.query_bytes)
+                servers.append(o.servers_contacted)
+                got.append(o.total_matches)
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "mean_latency_ms": float(np.mean(lat)) * 1000,
+                    "mean_query_bytes": float(np.mean(qbytes)),
+                    "mean_servers": float(np.mean(servers)),
+                }
+            )
+            matches[strategy] = got
+        return rows, matches
+
+    rows, matches = run_once(benchmark, run)
+    print()
+    print_table(rows, title="Ablation: SWORD ring-selection strategy")
+
+    # Correctness is strategy-independent.
+    assert matches["first"] == matches["narrowest"]
+    by = {r["strategy"]: r for r in rows}
+    # The narrow ring visits fewer servers and costs less.
+    assert by["narrowest"]["mean_servers"] < by["first"]["mean_servers"]
+    assert by["narrowest"]["mean_query_bytes"] < by["first"]["mean_query_bytes"]
+    assert by["narrowest"]["mean_latency_ms"] < by["first"]["mean_latency_ms"]

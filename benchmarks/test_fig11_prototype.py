@@ -1,0 +1,52 @@
+"""Figure 11 — prototype total response time vs query selectivity.
+
+Paper shape: the central repository wins at low selectivity (one query/
+reply round trip); as selectivity grows, record retrieval dominates and
+ROADS' parallel per-owner retrieval becomes comparable around 1% and
+better at 3%. ROADS' own response time stays roughly flat (~1000 ms in
+the paper, consistent with its ~800 ms simulated forwarding latency).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    SELECTIVITY_SWEEP,
+    crossover_position,
+    fig11_response_time_vs_selectivity,
+    print_table,
+    validate_fig11,
+)
+
+
+def test_fig11(benchmark, settings, scale):
+    # The crossover needs the full record population (selectivity acts on
+    # the federation-wide record count), so keep paper-scale records.
+    queries_per_group = 200 if scale == "paper" else 15
+    rows = run_once(
+        benchmark,
+        lambda: fig11_response_time_vs_selectivity(
+            settings.with_(num_nodes=320, records_per_node=500, runs=1),
+            SELECTIVITY_SWEEP,
+            queries_per_group=queries_per_group,
+        ),
+    )
+    print()
+    print_table(
+        rows,
+        title="Figure 11: total response time (ms) vs query selectivity (%)",
+    )
+
+    failures = validate_fig11(rows)
+    assert not failures, failures
+    roads = np.array([r["roads_mean_ms"] for r in rows])
+    central = np.array([r["central_mean_ms"] for r in rows])
+    # Central's response grows with selectivity (serial retrieval).
+    assert central[-1] > central[0] * 2
+    # ROADS roughly flat (parallel retrieval); within 2x across the sweep.
+    assert roads.max() / roads.min() < 2.0
+    # Crossover position: between 0.3% and 3% selectivity, as the paper.
+    pos = crossover_position(
+        rows, "selectivity_pct", "roads_mean_ms", "central_mean_ms"
+    )
+    assert pos is not None and 0.3 <= pos <= 3.0

@@ -1,0 +1,31 @@
+"""Figure 3 — query latency vs number of nodes.
+
+Paper shape: ROADS grows logarithmically (small jumps at hierarchy-level
+boundaries) and sits ~40-60% below SWORD, which grows linearly with the
+segment it must walk.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    fig3_latency_vs_nodes,
+    print_table,
+    validate_fig3,
+)
+
+
+def test_fig3(benchmark, settings, node_sweep):
+    rows = run_once(
+        benchmark, lambda: fig3_latency_vs_nodes(settings, node_sweep)
+    )
+    print()
+    print_table(rows, title="Figure 3: latency (ms) vs number of nodes")
+
+    failures = validate_fig3(rows)
+    assert not failures, failures
+    # Rough factor beyond the validator: 30%+ lower on average
+    # (paper: 40-60%).
+    roads = np.array([r["roads_latency_ms"] for r in rows])
+    sword = np.array([r["sword_latency_ms"] for r in rows])
+    assert 1 - (roads / sword).mean() > 0.3

@@ -1,0 +1,30 @@
+"""Figure 4 — update message overhead vs number of nodes (log scale).
+
+Paper shape: ROADS 1-2 orders of magnitude below SWORD, thanks to
+condensed constant-size summaries vs per-record r-fold DHT registration.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    fig4_update_overhead_vs_nodes,
+    print_table,
+    validate_fig4,
+)
+
+
+def test_fig4(benchmark, settings, node_sweep):
+    rows = run_once(
+        benchmark, lambda: fig4_update_overhead_vs_nodes(settings, node_sweep)
+    )
+    print()
+    print_table(rows, title="Figure 4: update overhead (bytes/window) vs nodes")
+
+    failures = validate_fig4(rows)
+    assert not failures, failures
+    # Both grow with n; SWORD stays far above throughout.
+    sword = [r["sword_update_bytes"] for r in rows]
+    roads = [r["roads_update_bytes"] for r in rows]
+    assert sword[-1] > sword[0]
+    assert roads[-1] > roads[0]

@@ -1,0 +1,29 @@
+"""Figure 5 — query message overhead vs number of nodes.
+
+Paper shape: ROADS 2-5x above SWORD — voluntary sharing means the query
+must visit every owner whose summaries match, while SWORD hashes the
+matching records onto a small segment of servers.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    fig5_query_overhead_vs_nodes,
+    print_table,
+    validate_fig5,
+)
+
+
+def test_fig5(benchmark, settings, node_sweep):
+    rows = run_once(
+        benchmark, lambda: fig5_query_overhead_vs_nodes(settings, node_sweep)
+    )
+    print()
+    print_table(rows, title="Figure 5: query overhead (bytes) vs nodes")
+
+    failures = validate_fig5(rows)
+    assert not failures, failures
+    # Paper band: 2-5x (we accept up to 8x at the largest sweeps).
+    ratios = np.array([r["ratio"] for r in rows])
+    assert (ratios > 1.2).all()

@@ -1,0 +1,28 @@
+"""Figure 6 — latency vs query dimensionality.
+
+Paper shape: ROADS latency falls (~40% from 2 to 8 dimensions) because
+every queried dimension confines the search; SWORD stays flat because it
+only ever uses one dimension for routing.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig6_latency_vs_dimensions, print_table
+
+
+def test_fig6(benchmark, settings, dimension_sweep):
+    rows = run_once(
+        benchmark, lambda: fig6_latency_vs_dimensions(settings, dimension_sweep)
+    )
+    print()
+    print_table(rows, title="Figure 6: latency (ms) vs query dimensions")
+
+    roads = np.array([r["roads_latency_ms"] for r in rows])
+    sword = np.array([r["sword_latency_ms"] for r in rows])
+
+    # ROADS: meaningful decrease from the lowest to highest dimension.
+    drop = 1 - roads[-1] / roads[0]
+    assert drop > 0.25, f"ROADS latency should drop with dims, got {drop:.0%}"
+    # SWORD: flat within 20%.
+    assert sword.max() / sword.min() < 1.25

@@ -1,0 +1,31 @@
+"""Figure 7 — query overhead vs query dimensionality.
+
+Paper shape: SWORD grows linearly (bigger query messages over the same
+path); ROADS starts far higher, dips as extra dimensions confine the
+search scope, then flattens/rises once the scope reduction is exhausted
+and message size growth takes over.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig7_query_overhead_vs_dimensions, print_table
+
+
+def test_fig7(benchmark, settings, dimension_sweep):
+    rows = run_once(
+        benchmark,
+        lambda: fig7_query_overhead_vs_dimensions(settings, dimension_sweep),
+    )
+    print()
+    print_table(rows, title="Figure 7: query overhead (bytes) vs dimensions")
+
+    roads = np.array([r["roads_query_bytes"] for r in rows])
+    sword = np.array([r["sword_query_bytes"] for r in rows])
+
+    # SWORD: monotone growth, roughly linear in dimensionality.
+    assert (np.diff(sword) > 0).all()
+    # ROADS: the initial dip — low-dimensional queries are the most
+    # expensive because almost nothing is pruned.
+    assert roads[0] == roads.max()
+    assert roads.min() < roads[0] * 0.6

@@ -1,0 +1,33 @@
+"""Figure 8 — update overhead vs records per node.
+
+Paper shape: ROADS constant (fixed-size summaries regardless of record
+volume); SWORD linear (every record re-registered r times).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import (
+    fig8_update_overhead_vs_records,
+    print_table,
+    validate_fig8,
+)
+
+
+def test_fig8(benchmark, settings, records_sweep):
+    s = settings.with_(num_nodes=min(settings.num_nodes, 192))
+    rows = run_once(
+        benchmark, lambda: fig8_update_overhead_vs_records(s, records_sweep)
+    )
+    print()
+    print_table(
+        rows, title="Figure 8: update overhead (bytes/window) vs records/node"
+    )
+
+    failures = validate_fig8(rows)
+    assert not failures, failures
+    roads = np.array([r["roads_update_bytes"] for r in rows], dtype=float)
+    sword = np.array([r["sword_update_bytes"] for r in rows], dtype=float)
+    # ROADS below SWORD at every point (it wins more as records grow).
+    assert (roads < sword).all()
+    assert sword[-1] / roads[-1] > sword[0] / roads[0]

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Grid compute marketplace: discovering machines across organizations.
+
+A classic grid-era scenario (the niche ROADS was designed for): dozens of
+organizations contribute compute resources — each machine described by
+architecture, OS, CPU count, clock, memory, disk, load, and network
+bandwidth — and users discover machines with multi-dimensional range
+queries like "at least 8 x86_64 CPUs, 32+ GB RAM, load under 30%".
+
+This example exercises:
+
+* the compute-resource schema with mixed attribute types;
+* dynamic resources — machine load changes continuously, and soft-state
+  summary refresh picks the changes up each epoch;
+* discovery under churn: an organization's server crashes, the
+  maintenance protocol heals the hierarchy, and queries keep working.
+
+Run:  python examples/compute_marketplace.py
+"""
+
+import numpy as np
+
+from repro import Query, RangePredicate, EqualsPredicate, RecordStore
+from repro import RoadsConfig, RoadsSystem
+from repro.records import compute_resource_schema
+from repro.workload import merge_stores
+
+ORGS = 20
+MACHINES_PER_ORG = 150
+SEED = 2024
+
+
+def build_org_inventory(rng, schema, org):
+    n = MACHINES_PER_ORG
+    arch = rng.choice(schema["arch"].categories, n, p=[0.7, 0.15, 0.15]).tolist()
+    os_ = rng.choice(schema["os"].categories, n, p=[0.8, 0.1, 0.1]).tolist()
+    numeric = np.column_stack(
+        [
+            rng.choice([1, 2, 4, 8, 16, 32, 64], n).astype(float),  # cpus
+            rng.uniform(1.0, 4.0, n),  # clock_ghz
+            rng.choice([4, 8, 16, 32, 64, 128, 256], n).astype(float),  # memory_gb
+            rng.uniform(100, 10_000, n),  # disk_gb
+            rng.beta(2, 5, n),  # load
+            rng.choice([100, 1_000, 10_000], n).astype(float),  # net_mbps
+        ]
+    )
+    return RecordStore.from_arrays(
+        schema, numeric, [arch, os_], owner=f"owner-{org}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    schema = compute_resource_schema()
+    inventories = [build_org_inventory(rng, schema, o) for o in range(ORGS)]
+
+    system = RoadsSystem.build(
+        RoadsConfig(
+            num_nodes=ORGS,
+            records_per_node=MACHINES_PER_ORG,
+            max_children=4,
+            seed=SEED,
+        ),
+        inventories,
+    )
+    reference = merge_stores(inventories)
+    print(f"marketplace: {ORGS} orgs x {MACHINES_PER_ORG} machines, "
+          f"{system.levels}-level hierarchy")
+
+    query = Query.of(
+        EqualsPredicate("arch", "x86_64"),
+        EqualsPredicate("os", "linux"),
+        RangePredicate("cpus", 8, 512),
+        RangePredicate("memory_gb", 32, 4096),
+        RangePredicate("load", 0.0, 0.3),
+    )
+    print(f"\nquery: {query}")
+    outcome = system.execute_query(query)
+    print(f"  found {outcome.total_matches} machines "
+          f"(ground truth {query.match_count(reference)}) in "
+          f"{outcome.latency * 1000:.1f} ms across "
+          f"{outcome.servers_contacted} servers")
+
+    # --- Dynamic resources -------------------------------------------------
+    # Load changes on every machine; summaries are soft state and pick
+    # the changes up at the next refresh epoch.
+    print("\nsimulating a load spike at half the organizations...")
+    for org in range(0, ORGS, 2):
+        store = inventories[org]
+        for row in range(len(store)):
+            store.update_numeric(row, "load", float(rng.uniform(0.6, 1.0)))
+    system.refresh()  # next summary epoch
+
+    reference = merge_stores(inventories)  # re-snapshot the ground truth
+    after = system.execute_query(query)
+    print(f"  idle machines after the spike: {after.total_matches} "
+          f"(ground truth {query.match_count(reference)})")
+    assert after.total_matches == query.match_count(reference)
+    assert after.total_matches < outcome.total_matches
+
+    # --- Churn ---------------------------------------------------------------
+    print("\ncrash-failing one organization's server...")
+    proto = system.enable_maintenance()
+    victim = next(
+        s for s in system.hierarchy if not s.is_root and s.children
+    )
+    victim_id = victim.server_id
+    proto.fail(victim)
+    system.sim.run(until=system.sim.now + 60.0)  # detection + healing
+    system.refresh()
+    system.hierarchy.check_invariants()
+
+    survivors = merge_stores(
+        [inventories[i] for i in range(ORGS) if i != victim_id]
+    )
+    healthy_client = next(s.server_id for s in system.hierarchy if s.alive)
+    healed = system.execute_query(query, client_node=healthy_client)
+    print(f"  after healing: {healed.total_matches} machines "
+          f"(ground truth without org {victim_id}: "
+          f"{query.match_count(survivors)}); hierarchy "
+          f"rebuilt with {len(system.hierarchy)} servers, "
+          f"{proto.rejoins} rejoins")
+    assert healed.total_matches == query.match_count(survivors)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Analytical models: Section IV overheads plus a query-forwarding model."""
+
+from .querymodel import (
+    QueryCostParams,
+    branch_match_probability,
+    expected_contacts,
+    expected_query_bytes,
+    leaf_match_probability_from_dims,
+    measured_dimension_probabilities,
+)
+from .model import (
+    PAPER_TABLE1_VALUES,
+    ModelParams,
+    central_storage,
+    central_update_overhead,
+    roads_maintenance_overhead,
+    roads_maintenance_per_node,
+    roads_storage,
+    roads_update_overhead,
+    sword_storage,
+    sword_update_overhead,
+    table1,
+    update_overheads,
+)
+
+__all__ = [
+    "ModelParams",
+    "roads_update_overhead",
+    "sword_update_overhead",
+    "central_update_overhead",
+    "roads_maintenance_overhead",
+    "roads_maintenance_per_node",
+    "roads_storage",
+    "sword_storage",
+    "central_storage",
+    "table1",
+    "update_overheads",
+    "PAPER_TABLE1_VALUES",
+    "QueryCostParams",
+    "expected_contacts",
+    "expected_query_bytes",
+    "branch_match_probability",
+    "leaf_match_probability_from_dims",
+    "measured_dimension_probabilities",
+]

@@ -1,0 +1,5 @@
+"""Central repository baseline."""
+
+from .system import CentralConfig, CentralQueryOutcome, CentralSystem
+
+__all__ = ["CentralConfig", "CentralSystem", "CentralQueryOutcome"]

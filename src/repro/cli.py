@@ -1,0 +1,175 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library without writing any
+code:
+
+* ``selftest`` — build a small federation, verify query exactness and
+  the comparative orderings against SWORD and the central repository;
+* ``figure <target>`` — regenerate one of the paper's tables/figures
+  (``table1``, ``fig3`` … ``fig11``) and optionally save the rows;
+* ``demo`` — a narrated quickstart run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    ExperimentSettings,
+    SELECTIVITY_SWEEP,
+    analytical_rows,
+    fig3_latency_vs_nodes,
+    fig4_update_overhead_vs_nodes,
+    fig5_query_overhead_vs_nodes,
+    fig6_latency_vs_dimensions,
+    fig7_query_overhead_vs_dimensions,
+    fig8_update_overhead_vs_records,
+    fig9_latency_vs_overlap,
+    fig10_latency_vs_degree,
+    fig11_response_time_vs_selectivity,
+    measured_rows,
+    print_table,
+)
+from .experiments.export import save_rows_csv
+
+_FIGURES = {
+    "table1": lambda s: analytical_rows() + measured_rows(
+        s.with_(num_nodes=min(s.num_nodes, 96), records_per_node=800)
+    ),
+    "fig3": lambda s: fig3_latency_vs_nodes(s, (64, 192, 320)),
+    "fig4": lambda s: fig4_update_overhead_vs_nodes(s, (64, 192, 320)),
+    "fig5": lambda s: fig5_query_overhead_vs_nodes(s, (64, 192, 320)),
+    "fig6": lambda s: fig6_latency_vs_dimensions(s, (2, 4, 6, 8)),
+    "fig7": lambda s: fig7_query_overhead_vs_dimensions(s, (2, 4, 6, 8)),
+    "fig8": lambda s: fig8_update_overhead_vs_records(
+        s.with_(num_nodes=min(s.num_nodes, 192)), (50, 200, 500)
+    ),
+    "fig9": lambda s: fig9_latency_vs_overlap(
+        s.with_(num_nodes=min(s.num_nodes, 192)), (1, 6, 12)
+    ),
+    "fig10": lambda s: fig10_latency_vs_degree(s, (4, 8, 12)),
+    "fig11": lambda s: fig11_response_time_vs_selectivity(
+        s.with_(num_nodes=320, records_per_node=500, runs=1),
+        SELECTIVITY_SWEEP,
+        queries_per_group=20,
+    ),
+}
+
+
+def _cmd_selftest(args) -> int:
+    from .experiments import run_trial
+
+    settings = ExperimentSettings(
+        num_nodes=48,
+        records_per_node=120,
+        num_queries=30,
+        runs=1,
+        seed=args.seed,
+    )
+    print("building paired ROADS / SWORD / central systems (48 nodes)...")
+    trial = run_trial(settings, args.seed, include_central=True)
+    checks = [
+        (
+            "ROADS update bytes below SWORD",
+            trial.roads.update_bytes_window < trial.sword.update_bytes_window,
+        ),
+        (
+            "SWORD query bytes below ROADS",
+            trial.sword.mean_query_bytes > 0
+            and trial.sword.mean_query_bytes < trial.roads.mean_query_bytes,
+        ),
+        (
+            "ROADS latency below SWORD",
+            trial.roads.mean_latency_s < trial.sword.mean_latency_s,
+        ),
+        (
+            "central latency below ROADS",
+            trial.central.mean_latency_s < trial.roads.mean_latency_s,
+        ),
+    ]
+    ok = True
+    for label, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+        ok &= passed
+    print("selftest", "passed" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_figure(args) -> int:
+    settings = ExperimentSettings.paper().with_(
+        num_queries=args.queries, runs=args.runs, seed=args.seed
+    )
+    rows = _FIGURES[args.target](settings)
+    print_table(rows, title=f"{args.target} (quick scale)")
+    if args.output:
+        save_rows_csv(rows, args.output)
+        print(f"rows written to {args.output}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from .experiments.suite import run_suite
+
+    run_suite(
+        args.out, targets=args.targets, scale=args.scale, seed=args.seed
+    )
+    print(f"suite results written under {args.out}/")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found; run from a source checkout")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ROADS reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("selftest", help="verify comparative orderings")
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_selftest)
+
+    p = sub.add_parser("figure", help="regenerate a table/figure")
+    p.add_argument("target", choices=sorted(_FIGURES))
+    p.add_argument("--queries", type=int, default=60)
+    p.add_argument("--runs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--output", help="also write rows to this CSV path")
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser(
+        "suite", help="run the full evaluation and archive results"
+    )
+    p.add_argument("--out", default="results")
+    p.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--targets", nargs="*", default=None,
+        help="subset of targets (default: all)",
+    )
+    p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser("demo", help="run the narrated quickstart")
+    p.set_defaults(fn=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Persisting experiment rows.
+
+Figure drivers return lists of row dicts; this module round-trips them
+through CSV and JSON so sweeps can be archived, diffed across runs, and
+re-plotted without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def save_rows_csv(rows: Sequence[Dict], path: PathLike) -> Path:
+    """Write rows to CSV (columns = union of keys, first-seen order)."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    columns: List[str] = []
+    for r in rows:
+        for k in r:
+            if k not in columns:
+                columns.append(k)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns)
+        writer.writeheader()
+        for r in rows:
+            writer.writerow(r)
+    return path
+
+
+def load_rows_csv(path: PathLike) -> List[Dict]:
+    """Read rows back; numeric-looking fields are converted."""
+    path = Path(path)
+    out: List[Dict] = []
+    text = path.read_text()
+    if not text.strip():
+        return out
+    with path.open() as fh:
+        for raw in csv.DictReader(fh):
+            out.append({k: _coerce(v) for k, v in raw.items()})
+    return out
+
+
+def _coerce(value: str):
+    if value is None or value == "":
+        return value
+    try:
+        i = int(value)
+        return i
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def save_rows_json(rows: Sequence[Dict], path: PathLike, *, meta: Dict = None) -> Path:
+    """Write rows (plus optional metadata) as a JSON document."""
+    path = Path(path)
+    doc = {"meta": meta or {}, "rows": list(rows)}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return path
+
+
+def load_rows_json(path: PathLike) -> Dict:
+    return json.loads(Path(path).read_text())

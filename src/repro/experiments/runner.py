@@ -1,0 +1,288 @@
+"""Trial runner: builds paired systems on a shared workload and measures.
+
+One *trial* = one seeded workload + one ROADS system + one SWORD system
+(+ optionally a central repository), with the identical query stream and
+client placements fed to each design, so per-figure comparisons are
+paired. Figures average trials over ``settings.runs`` seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..central.system import CentralConfig, CentralSystem
+from ..query.query import Query
+from ..records.store import RecordStore
+from ..roads.config import RoadsConfig
+from ..roads.system import RoadsSystem
+from ..sim.rng import SeedSequenceFactory
+from ..summaries.config import SummaryConfig
+from ..sword.system import SwordConfig, SwordSystem
+from ..workload.generator import WorkloadConfig, generate_node_stores
+from ..workload.queries import generate_queries
+from .config import ExperimentSettings
+
+
+@dataclass
+class TrialMeasurement:
+    """Aggregate metrics of one system over one trial's query stream."""
+
+    mean_latency_s: float = 0.0
+    latency_std_s: float = 0.0
+    latency_p90_s: float = 0.0
+    mean_query_bytes: float = 0.0
+    mean_servers_contacted: float = 0.0
+    mean_matches: float = 0.0
+    update_bytes_window: int = 0
+    storage_bytes_mean: float = 0.0
+    storage_bytes_max: int = 0
+    levels: int = 0
+
+
+@dataclass
+class TrialResult:
+    roads: TrialMeasurement
+    sword: Optional[TrialMeasurement] = None
+    central: Optional[TrialMeasurement] = None
+
+
+def build_workload(
+    settings: ExperimentSettings,
+    seed: int,
+    *,
+    overlap_factor: Optional[float] = None,
+) -> tuple:
+    """(workload config, per-node stores) for one trial."""
+    wcfg = WorkloadConfig(
+        num_nodes=settings.num_nodes,
+        records_per_node=settings.records_per_node,
+        overlap_factor=overlap_factor,
+        seed=seed,
+    )
+    return wcfg, generate_node_stores(wcfg)
+
+
+def build_roads(
+    settings: ExperimentSettings,
+    stores: Sequence[RecordStore],
+    seed: int,
+) -> RoadsSystem:
+    cfg = RoadsConfig(
+        num_nodes=settings.num_nodes,
+        records_per_node=settings.records_per_node,
+        max_children=settings.max_children,
+        summary=SummaryConfig(histogram_buckets=settings.histogram_buckets),
+        summary_interval=settings.summary_interval,
+        record_interval=settings.record_interval,
+        seed=seed,
+    )
+    return RoadsSystem.build(cfg, stores)
+
+
+def build_sword(
+    settings: ExperimentSettings,
+    stores: Sequence[RecordStore],
+    seed: int,
+) -> SwordSystem:
+    cfg = SwordConfig(
+        num_nodes=settings.num_nodes,
+        records_per_node=settings.records_per_node,
+        record_interval=settings.record_interval,
+        seed=seed,
+    )
+    return SwordSystem(cfg, stores)
+
+
+def build_central(
+    settings: ExperimentSettings,
+    stores: Sequence[RecordStore],
+    seed: int,
+) -> CentralSystem:
+    cfg = CentralConfig(
+        num_nodes=settings.num_nodes,
+        record_interval=settings.record_interval,
+        seed=seed,
+    )
+    return CentralSystem(cfg, stores)
+
+
+def trial_queries(
+    settings: ExperimentSettings, wcfg: WorkloadConfig, seed: int
+) -> tuple:
+    """(queries, client node per query) for one trial."""
+    queries = generate_queries(
+        wcfg,
+        num_queries=settings.num_queries,
+        dimensions=settings.query_dimensions,
+        range_length=settings.query_range_length,
+    )
+    rng = SeedSequenceFactory(seed).fresh_generator("clients")
+    clients = rng.integers(0, settings.num_nodes, size=len(queries))
+    return queries, clients
+
+
+def measure_roads(
+    system: RoadsSystem,
+    queries: Sequence[Query],
+    clients: Sequence[int],
+    settings: ExperimentSettings,
+    *,
+    measure_updates: bool = True,
+) -> TrialMeasurement:
+    lat, qbytes, servers, matches = [], [], [], []
+    for q, c in zip(queries, clients):
+        o = system.execute_query(q, client_node=int(c))
+        lat.append(o.latency)
+        qbytes.append(o.query_bytes)
+        servers.append(o.servers_contacted)
+        matches.append(o.total_matches)
+    storage = system.storage_bytes_by_server()
+    return TrialMeasurement(
+        mean_latency_s=float(np.mean(lat)),
+        latency_std_s=float(np.std(lat)),
+        latency_p90_s=float(np.percentile(lat, 90)),
+        mean_query_bytes=float(np.mean(qbytes)),
+        mean_servers_contacted=float(np.mean(servers)),
+        mean_matches=float(np.mean(matches)),
+        update_bytes_window=(
+            system.update_overhead(settings.update_window_seconds)
+            if measure_updates
+            else 0
+        ),
+        storage_bytes_mean=float(np.mean(list(storage.values()))),
+        storage_bytes_max=int(max(storage.values())),
+        levels=system.levels,
+    )
+
+
+def measure_sword(
+    system: SwordSystem,
+    queries: Sequence[Query],
+    clients: Sequence[int],
+    settings: ExperimentSettings,
+    *,
+    measure_updates: bool = True,
+) -> TrialMeasurement:
+    lat, qbytes, servers, matches = [], [], [], []
+    for q, c in zip(queries, clients):
+        o = system.execute_query(q, int(c))
+        lat.append(o.latency)
+        qbytes.append(o.query_bytes)
+        servers.append(o.servers_contacted)
+        matches.append(o.total_matches)
+    storage = system.storage_bytes_by_server()
+    return TrialMeasurement(
+        mean_latency_s=float(np.mean(lat)),
+        latency_std_s=float(np.std(lat)),
+        latency_p90_s=float(np.percentile(lat, 90)),
+        mean_query_bytes=float(np.mean(qbytes)),
+        mean_servers_contacted=float(np.mean(servers)),
+        mean_matches=float(np.mean(matches)),
+        update_bytes_window=(
+            system.update_overhead(settings.update_window_seconds)
+            if measure_updates
+            else 0
+        ),
+        storage_bytes_mean=float(np.mean(list(storage.values()))),
+        storage_bytes_max=int(max(storage.values())),
+        levels=0,
+    )
+
+
+def measure_central(
+    system: CentralSystem,
+    queries: Sequence[Query],
+    clients: Sequence[int],
+    settings: ExperimentSettings,
+) -> TrialMeasurement:
+    lat = [system.execute_query(q, int(c)).latency for q, c in zip(queries, clients)]
+    return TrialMeasurement(
+        mean_latency_s=float(np.mean(lat)),
+        mean_query_bytes=float(np.mean([q.size_bytes for q in queries])),
+        mean_servers_contacted=1.0,
+        update_bytes_window=system.update_overhead(settings.update_window_seconds),
+        storage_bytes_mean=float(system.storage_bytes()),
+        storage_bytes_max=system.storage_bytes(),
+        levels=1,
+    )
+
+
+def run_trial(
+    settings: ExperimentSettings,
+    seed: int,
+    *,
+    overlap_factor: Optional[float] = None,
+    include_sword: bool = True,
+    include_central: bool = False,
+    measure_updates: bool = True,
+) -> TrialResult:
+    """One seeded trial with paired systems over the same workload."""
+    wcfg, stores = build_workload(settings, seed, overlap_factor=overlap_factor)
+    queries, clients = trial_queries(settings, wcfg, seed)
+    roads = build_roads(settings, stores, seed)
+    result = TrialResult(
+        roads=measure_roads(
+            roads, queries, clients, settings, measure_updates=measure_updates
+        )
+    )
+    if include_sword:
+        sword = build_sword(settings, stores, seed)
+        result.sword = measure_sword(
+            sword, queries, clients, settings, measure_updates=measure_updates
+        )
+    if include_central:
+        central = build_central(settings, stores, seed)
+        result.central = measure_central(central, queries, clients, settings)
+    return result
+
+
+def average_trials(
+    settings: ExperimentSettings,
+    *,
+    overlap_factor: Optional[float] = None,
+    include_sword: bool = True,
+    include_central: bool = False,
+    measure_updates: bool = True,
+) -> Dict[str, TrialMeasurement]:
+    """Run ``settings.runs`` trials and average every numeric field."""
+    trials = [
+        run_trial(
+            settings,
+            settings.seed + run,
+            overlap_factor=overlap_factor,
+            include_sword=include_sword,
+            include_central=include_central,
+            measure_updates=measure_updates,
+        )
+        for run in range(settings.runs)
+    ]
+    out: Dict[str, TrialMeasurement] = {"roads": _mean([t.roads for t in trials])}
+    if include_sword:
+        out["sword"] = _mean([t.sword for t in trials])
+    if include_central:
+        out["central"] = _mean([t.central for t in trials])
+    return out
+
+
+def _mean(measurements: List[TrialMeasurement]) -> TrialMeasurement:
+    return TrialMeasurement(
+        mean_latency_s=float(np.mean([m.mean_latency_s for m in measurements])),
+        latency_std_s=float(np.mean([m.latency_std_s for m in measurements])),
+        latency_p90_s=float(np.mean([m.latency_p90_s for m in measurements])),
+        mean_query_bytes=float(np.mean([m.mean_query_bytes for m in measurements])),
+        mean_servers_contacted=float(
+            np.mean([m.mean_servers_contacted for m in measurements])
+        ),
+        mean_matches=float(np.mean([m.mean_matches for m in measurements])),
+        update_bytes_window=int(
+            np.mean([m.update_bytes_window for m in measurements])
+        ),
+        storage_bytes_mean=float(
+            np.mean([m.storage_bytes_mean for m in measurements])
+        ),
+        storage_bytes_max=int(max(m.storage_bytes_max for m in measurements)),
+        levels=int(round(np.mean([m.levels for m in measurements]))),
+    )

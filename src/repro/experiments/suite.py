@@ -1,0 +1,150 @@
+"""Run the whole evaluation and archive the results.
+
+``run_suite`` executes any subset of the table/figure drivers, writes
+each result as CSV + JSON under an output directory, and emits a
+SUMMARY.md with every table rendered — a one-command regeneration of the
+paper's evaluation section.
+
+Exposed on the CLI as ``python -m repro suite --out results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .config import (
+    DEGREE_SWEEP,
+    DIMENSION_SWEEP,
+    NODE_SWEEP,
+    OVERLAP_SWEEP,
+    RECORDS_SWEEP,
+    SELECTIVITY_SWEEP,
+    ExperimentSettings,
+)
+from .export import save_rows_csv, save_rows_json
+from .figures import (
+    fig3_latency_vs_nodes,
+    fig4_update_overhead_vs_nodes,
+    fig5_query_overhead_vs_nodes,
+    fig6_latency_vs_dimensions,
+    fig7_query_overhead_vs_dimensions,
+    fig8_update_overhead_vs_records,
+    fig9_latency_vs_overlap,
+    fig10_latency_vs_degree,
+    fig11_response_time_vs_selectivity,
+)
+from .report import format_table
+from .table1 import analytical_rows, measured_rows
+
+QUICK = {
+    "nodes": (64, 192, 320),
+    "dims": (2, 4, 6, 8),
+    "records": (50, 200, 500),
+    "overlap": (1, 6, 12),
+    "degree": (4, 8, 12),
+}
+PAPER = {
+    "nodes": NODE_SWEEP,
+    "dims": DIMENSION_SWEEP,
+    "records": RECORDS_SWEEP,
+    "overlap": OVERLAP_SWEEP,
+    "degree": DEGREE_SWEEP,
+}
+
+
+def _targets(settings: ExperimentSettings, sweeps: Dict, scale: str):
+    small = settings.with_(num_nodes=min(settings.num_nodes, 192))
+    return {
+        "table1_analytical": lambda: analytical_rows(),
+        "table1_measured": lambda: measured_rows(
+            small.with_(num_nodes=min(small.num_nodes, 128),
+                        records_per_node=1500)
+        ),
+        "fig3": lambda: fig3_latency_vs_nodes(settings, sweeps["nodes"]),
+        "fig4": lambda: fig4_update_overhead_vs_nodes(
+            settings, sweeps["nodes"]
+        ),
+        "fig5": lambda: fig5_query_overhead_vs_nodes(
+            settings, sweeps["nodes"]
+        ),
+        "fig6": lambda: fig6_latency_vs_dimensions(settings, sweeps["dims"]),
+        "fig7": lambda: fig7_query_overhead_vs_dimensions(
+            settings, sweeps["dims"]
+        ),
+        "fig8": lambda: fig8_update_overhead_vs_records(
+            small, sweeps["records"]
+        ),
+        "fig9": lambda: fig9_latency_vs_overlap(small, sweeps["overlap"]),
+        "fig10": lambda: fig10_latency_vs_degree(settings, sweeps["degree"]),
+        "fig11": lambda: fig11_response_time_vs_selectivity(
+            settings.with_(num_nodes=320, records_per_node=500, runs=1),
+            SELECTIVITY_SWEEP,
+            queries_per_group=200 if scale == "paper" else 20,
+        ),
+    }
+
+
+def available_targets() -> List[str]:
+    return list(_targets(ExperimentSettings.paper(), QUICK, "quick"))
+
+
+def run_suite(
+    out_dir,
+    *,
+    targets: Optional[Sequence[str]] = None,
+    scale: str = "quick",
+    seed: int = 1,
+    progress: Optional[Callable[[str], None]] = print,
+) -> Dict[str, List[Dict]]:
+    """Run the selected experiment *targets* and archive everything.
+
+    Returns the rows per target. Writes ``<target>.csv``,
+    ``<target>.json`` and a combined ``SUMMARY.md`` under *out_dir*.
+    """
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"scale must be quick|paper, got {scale!r}")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if scale == "paper":
+        settings = ExperimentSettings.paper().with_(seed=seed)
+        sweeps = PAPER
+    else:
+        settings = ExperimentSettings.paper().with_(
+            num_queries=60, runs=1, seed=seed
+        )
+        sweeps = QUICK
+
+    registry = _targets(settings, sweeps, scale)
+    chosen = list(registry) if targets is None else list(targets)
+    unknown = [t for t in chosen if t not in registry]
+    if unknown:
+        raise ValueError(f"unknown targets {unknown}; available: {list(registry)}")
+
+    results: Dict[str, List[Dict]] = {}
+    summary_parts = [
+        f"# Evaluation suite (scale={scale}, seed={seed})\n",
+    ]
+    for name in chosen:
+        t0 = time.time()
+        if progress:
+            progress(f"[suite] running {name} ...")
+        rows = registry[name]()
+        elapsed = time.time() - t0
+        results[name] = rows
+        save_rows_csv(rows, out / f"{name}.csv")
+        save_rows_json(
+            rows,
+            out / f"{name}.json",
+            meta={"target": name, "scale": scale, "seed": seed,
+                  "elapsed_seconds": round(elapsed, 2)},
+        )
+        summary_parts.append(
+            "## " + name + f" ({elapsed:.1f}s)\n\n```\n"
+            + format_table(rows) + "\n```\n"
+        )
+        if progress:
+            progress(f"[suite] {name} done in {elapsed:.1f}s")
+    (out / "SUMMARY.md").write_text("\n".join(summary_parts))
+    return results

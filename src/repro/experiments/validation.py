@@ -1,0 +1,186 @@
+"""Reusable shape validators for reproduction criteria.
+
+EXPERIMENTS.md states each figure's acceptance criteria in prose ("ROADS
+grows logarithmically, SWORD linearly, ROADS 40-60% lower"); this module
+states them as code. The validators return a list of human-readable
+failure strings (empty = all criteria met), so benchmarks, the CLI
+selftest, and ad-hoc notebooks can all check a row set the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+Rows = Sequence[Dict]
+
+
+def _series(rows: Rows, column: str) -> np.ndarray:
+    return np.array([float(r[column]) for r in rows])
+
+
+def check_dominates(
+    rows: Rows, winner: str, loser: str, *, min_factor: float = 1.0
+) -> List[str]:
+    """*winner* column strictly below *loser* at every point, by at least
+    *min_factor* on average."""
+    failures = []
+    w, l = _series(rows, winner), _series(rows, loser)
+    if not (w < l).all():
+        failures.append(f"{winner} not below {loser} at every point")
+    if np.mean(l / np.maximum(w, 1e-12)) < min_factor:
+        failures.append(
+            f"mean {loser}/{winner} factor below {min_factor}"
+        )
+    return failures
+
+
+def check_growth_order(
+    rows: Rows,
+    x: str,
+    y: str,
+    *,
+    order: str,
+    linear_fraction: float = 0.4,
+    sublinear_fraction: float = 0.6,
+) -> List[str]:
+    """Check a series grows ~linearly, sub-linearly, or stays constant.
+
+    ``order`` is one of ``"linear"``, ``"sublinear"``, ``"constant"``.
+    Linear: end/start growth at least ``linear_fraction`` of the x ratio.
+    Sublinear: growth at most ``sublinear_fraction`` of the x ratio.
+    Constant: within 10% across the sweep.
+    """
+    xs, ys = _series(rows, x), _series(rows, y)
+    if len(xs) < 2:
+        return [f"need at least two points to judge growth of {y}"]
+    x_ratio = xs[-1] / xs[0]
+    y_ratio = ys[-1] / max(ys[0], 1e-12)
+    if order == "linear":
+        if y_ratio < linear_fraction * x_ratio:
+            return [
+                f"{y} grew {y_ratio:.2f}x over a {x_ratio:.2f}x sweep; "
+                "expected ~linear"
+            ]
+    elif order == "sublinear":
+        if y_ratio > sublinear_fraction * x_ratio:
+            return [
+                f"{y} grew {y_ratio:.2f}x over a {x_ratio:.2f}x sweep; "
+                "expected sublinear"
+            ]
+    elif order == "constant":
+        if ys.max() / max(ys.min(), 1e-12) > 1.1:
+            return [f"{y} varies more than 10% across the sweep"]
+    else:
+        raise ValueError(f"unknown growth order {order!r}")
+    return []
+
+
+def check_monotone(
+    rows: Rows, y: str, *, direction: str, tolerance: float = 0.0
+) -> List[str]:
+    """Series rises or falls across the sweep (endpoints, with slack)."""
+    ys = _series(rows, y)
+    if direction == "increasing":
+        ok = ys[-1] >= ys[0] * (1 - tolerance)
+    elif direction == "decreasing":
+        ok = ys[-1] <= ys[0] * (1 + tolerance)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    if not ok:
+        return [f"{y} not {direction} across the sweep ({ys[0]:g} -> {ys[-1]:g})"]
+    return []
+
+
+def check_crossover(
+    rows: Rows, x: str, a: str, b: str
+) -> List[str]:
+    """*a* starts above *b* and ends at or below it — and report where.
+
+    Returns failures; on success the crossover position can be read with
+    :func:`crossover_position`.
+    """
+    av, bv = _series(rows, a), _series(rows, b)
+    failures = []
+    if not av[0] > bv[0]:
+        failures.append(f"{a} does not start above {b}")
+    if not av[-1] <= bv[-1] * 1.1:
+        failures.append(f"{a} never becomes comparable to {b}")
+    return failures
+
+
+def crossover_position(rows: Rows, x: str, a: str, b: str):
+    """First x at which *a* drops to or below *b* (None if never)."""
+    for r in rows:
+        if float(r[a]) <= float(r[b]):
+            return r[x]
+    return None
+
+
+def check_ratio_band(
+    rows: Rows, numerator: str, denominator: str, lo: float, hi: float
+) -> List[str]:
+    """Per-row ratio stays within [lo, hi]."""
+    n, d = _series(rows, numerator), _series(rows, denominator)
+    ratios = n / np.maximum(d, 1e-12)
+    failures = []
+    if ratios.min() < lo:
+        failures.append(
+            f"{numerator}/{denominator} fell to {ratios.min():.2f} < {lo}"
+        )
+    if ratios.max() > hi:
+        failures.append(
+            f"{numerator}/{denominator} rose to {ratios.max():.2f} > {hi}"
+        )
+    return failures
+
+
+def validate_fig3(rows: Rows) -> List[str]:
+    """ROADS below SWORD everywhere; SWORD ~linear; ROADS sublinear."""
+    return (
+        check_dominates(rows, "roads_latency_ms", "sword_latency_ms")
+        + check_growth_order(
+            rows, "nodes", "sword_latency_ms", order="linear"
+        )
+        + check_growth_order(
+            rows, "nodes", "roads_latency_ms", order="sublinear"
+        )
+    )
+
+
+def validate_fig4(rows: Rows) -> List[str]:
+    """ROADS 1-2 orders of magnitude below SWORD."""
+    return check_dominates(
+        rows, "roads_update_bytes", "sword_update_bytes", min_factor=10.0
+    ) + check_ratio_band(
+        rows, "sword_update_bytes", "roads_update_bytes", 10.0, 10_000.0
+    )
+
+
+def validate_fig5(rows: Rows) -> List[str]:
+    """SWORD cheaper; ROADS within a small-single-digit factor."""
+    return check_dominates(
+        rows, "sword_query_bytes", "roads_query_bytes"
+    ) + check_ratio_band(
+        rows, "roads_query_bytes", "sword_query_bytes", 1.0, 8.0
+    )
+
+
+def validate_fig8(rows: Rows) -> List[str]:
+    """ROADS constant in records; SWORD ~linear."""
+    return check_growth_order(
+        rows, "records_per_node", "roads_update_bytes", order="constant"
+    ) + check_growth_order(
+        rows, "records_per_node", "sword_update_bytes", order="linear",
+        linear_fraction=0.7,
+    )
+
+
+def validate_fig11(rows: Rows) -> List[str]:
+    """Central wins at low selectivity; ROADS comparable/better by 3%."""
+    return check_crossover(
+        rows, "selectivity_pct", "roads_mean_ms", "central_mean_ms"
+    ) + check_monotone(
+        rows, "central_mean_ms", direction="increasing"
+    )

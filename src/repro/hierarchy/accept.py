@@ -1,0 +1,94 @@
+"""Child-acceptance policies for hierarchy formation.
+
+Section III-A: *"When deciding whether to accept a new child, a server
+may consider many factors, such as management and operational
+convenience, its current load, bandwidth utilization and network delay.
+For example, it may prefer servers in the same administrative domain."*
+
+A :class:`AcceptancePolicy` refines a server's willingness beyond the
+built-in capacity and loop-avoidance checks. Policies are attached per
+server (``server.accept_policy``); the balanced join walk consults them
+transparently, backtracking past refusals.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .node import Server
+
+
+class AcceptancePolicy(abc.ABC):
+    """Extra accept/refuse say for a prospective parent."""
+
+    @abc.abstractmethod
+    def accepts(self, server: Server, joiner_id: int) -> bool:
+        """Whether *server* is willing to adopt *joiner_id* as a child.
+
+        Called only after capacity and loop checks already passed.
+        """
+
+
+class AcceptAll(AcceptancePolicy):
+    """The default: capacity and loop checks are the only constraints."""
+
+    def accepts(self, server: Server, joiner_id: int) -> bool:
+        return True
+
+
+@dataclass
+class DomainAffinityPolicy(AcceptancePolicy):
+    """Prefer (or require) children from the same administrative domain.
+
+    ``domains`` maps server id to a domain label. With ``strict=True``
+    a server only accepts same-domain children; otherwise it accepts
+    same-domain children always and foreign ones only while below
+    ``foreign_quota`` foreign children.
+    """
+
+    domains: Dict[int, str] = field(default_factory=dict)
+    strict: bool = False
+    foreign_quota: int = 2
+
+    def domain_of(self, server_id: int) -> str:
+        return self.domains.get(server_id, "")
+
+    def accepts(self, server: Server, joiner_id: int) -> bool:
+        same = self.domain_of(server.server_id) == self.domain_of(joiner_id)
+        if same:
+            return True
+        if self.strict:
+            return False
+        foreign = sum(
+            1
+            for c in server.children
+            if self.domain_of(c.server_id) != self.domain_of(server.server_id)
+        )
+        return foreign < self.foreign_quota
+
+
+@dataclass
+class LoadCapPolicy(AcceptancePolicy):
+    """Refuse children while the server's reported load exceeds a cap.
+
+    ``load_of`` supplies the current load in [0, 1] for a server id —
+    typically a closure over live measurements.
+    """
+
+    load_of: Callable[[int], float] = lambda _sid: 0.0
+    max_load: float = 0.8
+
+    def accepts(self, server: Server, joiner_id: int) -> bool:
+        return self.load_of(server.server_id) <= self.max_load
+
+
+@dataclass
+class CompositePolicy(AcceptancePolicy):
+    """All sub-policies must accept."""
+
+    policies: tuple = ()
+
+    def accepts(self, server: Server, joiner_id: int) -> bool:
+        return all(p.accepts(server, joiner_id) for p in self.policies)

@@ -1,0 +1,177 @@
+"""Bottom-up summary aggregation.
+
+Each aggregation round, every resource owner exports its (summary or raw)
+data to its attachment point, and every non-root server sends its branch
+summary — the merge of its local data and its children's latest branch
+summaries — to its parent. After one full round the root holds the global
+view. Summaries are soft state: reports carry the round's timestamp and
+expire after their TTL.
+
+Two execution modes are provided:
+
+* :func:`aggregate_round` — one synchronous post-order round with exact
+  byte accounting, used by the overhead experiments (running the DES for
+  every one of the millions of update messages in a SWORD comparison
+  would be pointlessly slow; the byte totals are identical).
+* :class:`PeriodicAggregation` — event-driven periodic rounds inside the
+  simulator, used by the maintenance/dynamics tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.metrics import UPDATE, MetricsCollector
+from ..summaries.config import SummaryConfig
+from ..summaries.summary import ResourceSummary
+from .join import Hierarchy
+from .node import Server
+
+#: bytes of branch metadata (depth, descendant count) piggybacked on each
+#: aggregation message for the balanced join rule
+BRANCH_STATS_BYTES = 8
+#: fixed message header bytes
+HEADER_BYTES = 16
+
+
+@dataclass
+class AggregationReport:
+    """Outcome of one aggregation round."""
+
+    export_bytes: int
+    aggregation_bytes: int
+    messages: int
+    #: delta propagation: how many reports shipped the full summary vs a
+    #: keep-alive header because the branch summary was unchanged
+    full_reports: int = 0
+    keepalive_reports: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.export_bytes + self.aggregation_bytes
+
+
+def refresh_owner_exports(
+    hierarchy: Hierarchy, config: SummaryConfig, now: float = 0.0
+) -> int:
+    """Re-export every attached owner's data; returns the bytes sent.
+
+    Owners that control their server re-send records only conceptually
+    (the server reads them locally — no wide-area traffic); third-party
+    attached owners ship a fresh summary over the network.
+    """
+    total = 0
+    for server in hierarchy:
+        for owner in server.owners:
+            if not owner.controls_server:
+                owner.summary = ResourceSummary.from_store(
+                    owner.origin, config, created_at=now
+                )
+                total += owner.summary.encoded_size() + HEADER_BYTES
+    return total
+
+
+def aggregate_round(
+    hierarchy: Hierarchy,
+    config: SummaryConfig,
+    now: float = 0.0,
+    metrics: Optional[MetricsCollector] = None,
+    *,
+    refresh_exports: bool = True,
+    delta: bool = False,
+) -> AggregationReport:
+    """One synchronous bottom-up aggregation round.
+
+    Children report before parents (post-order), so after the round each
+    server's ``child_summaries`` reflect this round and the root's branch
+    summary covers the whole federation.
+
+    With ``delta=True``, a server whose branch summary is unchanged since
+    its last report sends only a keep-alive header that refreshes the
+    parent's soft state — the steady-state traffic saving behind the
+    paper's t_s >> t_r argument (records changing within the same
+    histogram bucket leave the summary untouched).
+    """
+    export_bytes = refresh_owner_exports(hierarchy, config, now) if refresh_exports else 0
+    if metrics is not None and export_bytes:
+        metrics.record_message(UPDATE, export_bytes)
+
+    agg_bytes = 0
+    messages = 0
+    full_reports = 0
+    keepalive_reports = 0
+
+    def visit(server: Server) -> None:
+        nonlocal agg_bytes, messages, full_reports, keepalive_reports
+        for child in server.children:
+            visit(child)
+        if server.parent is not None:
+            summary = server.branch_summary(config, now)
+            size = HEADER_BYTES + BRANCH_STATS_BYTES
+            if summary is not None:
+                summary = summary.refreshed(now)
+                fp = summary.fingerprint()
+                unchanged = (
+                    delta
+                    and fp == server.last_reported_fingerprint
+                    and server.server_id in server.parent.child_summaries
+                )
+                server.parent.child_summaries[server.server_id] = summary
+                if unchanged:
+                    keepalive_reports += 1
+                else:
+                    size += summary.encoded_size()
+                    full_reports += 1
+                server.last_reported_fingerprint = fp
+            agg_bytes += size
+            messages += 1
+            if metrics is not None:
+                metrics.record_message(UPDATE, size)
+
+    visit(hierarchy.root)
+    return AggregationReport(
+        export_bytes=export_bytes,
+        aggregation_bytes=agg_bytes,
+        messages=messages,
+        full_reports=full_reports,
+        keepalive_reports=keepalive_reports,
+    )
+
+
+class PeriodicAggregation:
+    """Event-driven aggregation: one round every ``interval`` (= t_s)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: Hierarchy,
+        config: SummaryConfig,
+        interval: float,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.config = config
+        self.interval = interval
+        self.metrics = metrics
+        self.rounds = 0
+        self.last_report: Optional[AggregationReport] = None
+        self._task: Optional[PeriodicTask] = sim.schedule_periodic(
+            interval, self._round, first_delay=0.0
+        )
+
+    def _round(self) -> None:
+        now = self.sim.now
+        for server in self.hierarchy:
+            server.expire_stale_summaries(now)
+        self.last_report = aggregate_round(
+            self.hierarchy, self.config, now, self.metrics
+        )
+        self.rounds += 1
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None

@@ -1,0 +1,310 @@
+"""Hierarchy maintenance: heartbeats, failure recovery, root election.
+
+Follows Section III-A (adapted from universal multicast tree maintenance
+[9]):
+
+* every parent/child pair exchanges periodic heartbeats; several
+  consecutive losses mean the other end is presumed failed;
+* parents piggyback the root path on heartbeats to their children; the
+  root additionally piggybacks its children list so root failure can be
+  survived;
+* a child whose parent failed rejoins starting at its grandparent (taken
+  from its last known root path), escalating one level at a time up to the
+  root;
+* a parent whose child failed drops that child's summary and branch state;
+* when the root fails, its children elect the one with the smallest id as
+  the new root and the rest rejoin under it;
+* loop avoidance: a server never attaches to a node whose root path
+  contains itself.
+
+Heartbeats flow through the simulated network (so failed nodes genuinely
+go silent and maintenance traffic is byte-accounted); detection and
+rejoin run in periodic check events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..net.transport import Message, Network
+from ..sim.engine import Simulator
+from ..sim.metrics import MAINTENANCE
+from .join import Hierarchy, JoinError
+from .node import Server
+
+_HEARTBEAT_HEADER = 16
+_ID_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    heartbeat_interval: float = 5.0
+    miss_threshold: int = 3
+    check_interval: float = 5.0
+
+    @property
+    def failure_timeout(self) -> float:
+        return self.heartbeat_interval * self.miss_threshold
+
+
+@dataclass
+class _Heartbeat:
+    sender: int
+    root_path: List[int]
+    root_children: Optional[List[int]] = None  # only on root -> child beats
+
+
+class MaintenanceProtocol:
+    """Runs heartbeat exchange and failure recovery for a hierarchy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        hierarchy: Hierarchy,
+        config: MaintenanceConfig = MaintenanceConfig(),
+    ):
+        self.sim = sim
+        self.network = network
+        self.hierarchy = hierarchy
+        self.config = config
+        # per-server: neighbour id -> last time we heard from it
+        self._last_rx: Dict[int, Dict[int, float]] = {}
+        # per-server: last known root path / root children (from heartbeats)
+        self._known_root_path: Dict[int, List[int]] = {}
+        self._known_root_children: Dict[int, List[int]] = {}
+        self.failures_detected = 0
+        self.rejoins = 0
+        self.root_elections = 0
+        self.orphaned: Set[int] = set()
+
+        for server in hierarchy:
+            self._register(server)
+        self._beat_task = sim.schedule_periodic(
+            config.heartbeat_interval, self._send_heartbeats, first_delay=0.0
+        )
+        self._check_task = sim.schedule_periodic(
+            config.check_interval,
+            self._check_failures,
+            first_delay=config.failure_timeout,
+        )
+
+    # -- wiring ----------------------------------------------------------------
+    def _register(self, server: Server) -> None:
+        self._last_rx.setdefault(server.server_id, {})
+        self._known_root_path[server.server_id] = list(server.root_path)
+        self.network.register(
+            server.server_id, lambda msg, sid=server.server_id: self._on_message(sid, msg)
+        )
+
+    def stop(self) -> None:
+        self._beat_task.stop()
+        self._check_task.stop()
+
+    # -- heartbeats ----------------------------------------------------------------
+    def _heartbeat_size(self, hb: _Heartbeat) -> int:
+        size = _HEARTBEAT_HEADER + len(hb.root_path) * _ID_BYTES
+        if hb.root_children is not None:
+            size += len(hb.root_children) * _ID_BYTES
+        return size
+
+    def _send_heartbeats(self) -> None:
+        for server in list(self.hierarchy):
+            if not server.alive:
+                continue
+            sid = server.server_id
+            targets: List[Server] = []
+            if server.parent is not None:
+                targets.append(server.parent)
+            targets.extend(server.children)
+            for peer in targets:
+                hb = _Heartbeat(
+                    sender=sid,
+                    root_path=list(server.root_path),
+                    root_children=(
+                        server.child_ids() if server.is_root and peer in server.children
+                        else None
+                    ),
+                )
+                self.network.send(
+                    sid,
+                    peer.server_id,
+                    MAINTENANCE,
+                    self._heartbeat_size(hb),
+                    payload=hb,
+                )
+
+    def _on_message(self, server_id: int, msg: Message) -> None:
+        hb = msg.payload
+        if not isinstance(hb, _Heartbeat):
+            return
+        self._last_rx.setdefault(server_id, {})[hb.sender] = self.sim.now
+        server = self._get(server_id)
+        if server is None:
+            return
+        # Heartbeats from the parent carry the authoritative root path.
+        if server.parent is not None and hb.sender == server.parent.server_id:
+            self._known_root_path[server_id] = hb.root_path + [server_id]
+            if hb.root_children is not None:
+                self._known_root_children[server_id] = list(hb.root_children)
+
+    def _get(self, server_id: int) -> Optional[Server]:
+        try:
+            return self.hierarchy.get(server_id)
+        except KeyError:
+            return None
+
+    # -- failure detection ----------------------------------------------------------
+    def _silent(self, observer: int, peer: int) -> bool:
+        last = self._last_rx.get(observer, {}).get(peer)
+        if last is None:
+            # A fresh edge (new parent/child): grant a grace period from
+            # now rather than declaring an unheard peer dead.
+            self._last_rx.setdefault(observer, {})[peer] = self.sim.now
+            return False
+        return (self.sim.now - last) > self.config.failure_timeout
+
+    def _check_failures(self) -> None:
+        for server in list(self.hierarchy):
+            if not server.alive:
+                continue
+            # children silence -> drop their state
+            for child in list(server.children):
+                if self._silent(server.server_id, child.server_id):
+                    self.failures_detected += 1
+                    server.remove_child(child.server_id)
+            # parent silence -> rejoin elsewhere
+            parent = server.parent
+            if parent is not None and self._silent(server.server_id, parent.server_id):
+                self.failures_detected += 1
+                self._handle_parent_failure(server)
+            elif (
+                parent is None
+                and server is not self.hierarchy.root
+                and server.server_id in self.hierarchy._servers
+            ):
+                # Orphaned (e.g. detached during a root election run by a
+                # sibling): self-heal by rejoining under the current root.
+                if not self._try_rejoin(server, self.hierarchy.root):
+                    self.orphaned.add(server.server_id)
+        self.forget_failed()
+
+    # -- recovery ----------------------------------------------------------------
+    def _handle_parent_failure(self, server: Server) -> None:
+        failed = server.parent
+        assert failed is not None
+        failed.remove_child(server.server_id)
+        known_path = self._known_root_path.get(
+            server.server_id, list(server.root_path)
+        )
+        # Candidates: grandparent, then one level up each retry, then root.
+        # known_path = [root, ..., grandparent, parent, self]
+        candidates = [sid for sid in reversed(known_path[:-2])]
+        if failed.server_id == self.hierarchy.root.server_id:
+            self._handle_root_failure(server, failed)
+            return
+        for cand_id in candidates:
+            cand = self._get(cand_id)
+            if cand is None or not cand.alive or self.network.is_failed(cand_id):
+                continue
+            if self._try_rejoin(server, cand):
+                return
+        # Last resort: the current root.
+        root = self.hierarchy.root
+        if root.alive and self._try_rejoin(server, root):
+            return
+        self.orphaned.add(server.server_id)
+
+    def _try_rejoin(self, server: Server, start: Server) -> bool:
+        """Run the balanced join walk from *start*; True on success."""
+        parent = self.hierarchy._find_parent(start, server.server_id, visited=set())
+        if parent is None or not parent.alive:
+            return False
+        # The walk costs one probe per visited level; approximate with the
+        # target's depth in join-protocol bytes.
+        probe_bytes = _HEARTBEAT_HEADER * (parent.depth + 1)
+        self.network.metrics.record_message(MAINTENANCE, probe_bytes)
+        parent.add_child(server)
+        self._known_root_path[server.server_id] = list(server.root_path)
+        # Grace-stamp the new edge in both directions.
+        now = self.sim.now
+        self._last_rx.setdefault(server.server_id, {})[parent.server_id] = now
+        self._last_rx.setdefault(parent.server_id, {})[server.server_id] = now
+        self.rejoins += 1
+        self.orphaned.discard(server.server_id)
+        return True
+
+    def _handle_root_failure(self, detector: Server, failed_root: Server) -> None:
+        """Elect the smallest-id child of the failed root as the new root."""
+        siblings = self._known_root_children.get(detector.server_id, [])
+        alive_children = [
+            self._get(sid)
+            for sid in siblings
+            if self._get(sid) is not None
+            and self._get(sid).alive
+            and not self.network.is_failed(sid)
+        ]
+        if detector not in alive_children:
+            alive_children.append(detector)
+        new_root = min(alive_children, key=lambda s: s.server_id)
+        self.root_elections += 1
+        detached = []
+        if failed_root.server_id in self.hierarchy._servers:
+            # Forget the failed root; detach any remaining children first.
+            for child in list(failed_root.children):
+                failed_root.remove_child(child.server_id)
+                detached.append(child)
+            del self.hierarchy._servers[failed_root.server_id]
+        if new_root.parent is not None:
+            new_root.parent.remove_child(new_root.server_id)
+        self.hierarchy.set_root(new_root)
+        # The failed root's other children rejoin under the new root.
+        for child in detached:
+            if child is new_root or not child.alive:
+                continue
+            if not self._try_rejoin(child, new_root):
+                self.orphaned.add(child.server_id)
+        if detector is not new_root and detector.parent is None:
+            if not self._try_rejoin(detector, new_root):
+                self.orphaned.add(detector.server_id)
+
+    # -- explicit departures ---------------------------------------------------------
+    def leave(self, server: Server) -> None:
+        """Graceful departure: children rejoin from their grandparent."""
+        server.alive = False
+        parent = server.parent
+        if parent is not None:
+            parent.remove_child(server.server_id)
+        for child in list(server.children):
+            server.remove_child(child.server_id)
+            start = parent if parent is not None else self.hierarchy.root
+            if not self._try_rejoin(child, start):
+                if not self._try_rejoin(child, self.hierarchy.root):
+                    self.orphaned.add(child.server_id)
+        if server.server_id in self.hierarchy._servers and server is not self.hierarchy.root:
+            del self.hierarchy._servers[server.server_id]
+        self.network.unregister(server.server_id)
+
+    def fail(self, server: Server) -> None:
+        """Crash-fail a server: it goes silent; recovery is detection-driven."""
+        server.alive = False
+        self.network.fail_node(server.server_id)
+
+    def forget_failed(self) -> None:
+        """Drop fully detached dead servers from the membership table.
+
+        A server that crashed (or was excised during recovery) ends up
+        with no parent and no children once its neighbours have healed;
+        keeping it in the membership table would make the tree and the
+        table disagree.
+        """
+        for server in list(self.hierarchy):
+            if server is self.hierarchy.root:
+                continue
+            detached = server.parent is None and not server.children
+            presumed_dead = not server.alive or self.network.is_failed(
+                server.server_id
+            )
+            if detached and presumed_dead:
+                self.hierarchy._servers.pop(server.server_id, None)

@@ -1,0 +1,285 @@
+"""Hierarchy servers.
+
+A :class:`Server` is one machine in the ROADS federated hierarchy. It
+tracks its tree neighbourhood (parent, children, root path), per-child
+branch statistics (depth / descendant counts, maintained from bottom-up
+aggregation and used by the balanced join rule), summaries received from
+children and attached resource owners, and summaries replicated via the
+overlay.
+
+Resource owners attach to a server of their choice (their *attachment
+point*). An owner that controls the server exports its raw record store;
+an owner attaching to a third-party server exports only a summary
+(voluntary sharing, Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..records.store import RecordStore
+from ..summaries.config import SummaryConfig
+from ..summaries.summary import ResourceSummary
+
+
+@dataclass
+class AttachedOwner:
+    """A resource owner exporting data to its attachment point.
+
+    Exactly one of ``store`` / ``summary`` reflects what the *server*
+    holds: raw records when the owner controls the server, a summary
+    otherwise. The owner always keeps its full store privately (``origin``)
+    so it can answer queries under its own policy.
+
+    ``node_id`` is the owner's own location in the delay space. For an
+    owner that controls its attachment server the two coincide; a guest
+    owner (the paper's Figure 1, owner D) lives at its own node, and a
+    query that matches its summary costs the client one extra hop to
+    reach the owner's records.
+    """
+
+    owner_id: str
+    origin: RecordStore
+    controls_server: bool
+    summary: Optional[ResourceSummary] = None
+    node_id: Optional[int] = None
+
+    @property
+    def exported_size_bytes(self) -> int:
+        """Wire size of what this owner exports to its attachment point."""
+        if self.controls_server:
+            return self.origin.size_bytes
+        assert self.summary is not None
+        return self.summary.encoded_size()
+
+
+@dataclass
+class BranchStats:
+    """Per-child branch statistics used by the balanced join rule."""
+
+    depth: int = 1
+    descendants: int = 1
+
+
+class Server:
+    """One server in the federated hierarchy."""
+
+    def __init__(self, server_id: int, *, max_children: int = 8, provider: str = ""):
+        if max_children < 1:
+            raise ValueError("max_children must be >= 1")
+        self.server_id = server_id
+        self.provider = provider or f"provider-{server_id}"
+        self.max_children = max_children
+        self.parent: Optional["Server"] = None
+        self.children: List["Server"] = []
+        # ids of all servers from the root down to (and including) self
+        self.root_path: List[int] = [server_id]
+        self.branch_stats: Dict[int, BranchStats] = {}
+        self.owners: List[AttachedOwner] = []
+        # summaries most recently reported by each child (branch summaries)
+        self.child_summaries: Dict[int, ResourceSummary] = {}
+        # summaries replicated via the overlay, keyed by origin server id
+        self.replicated_summaries: Dict[int, ResourceSummary] = {}
+        # ancestors' local-owner summaries (overlay): used to decide
+        # whether an ancestor itself (not its branch) is worth contacting
+        self.replicated_local_summaries: Dict[int, ResourceSummary] = {}
+        # fingerprint of the last branch summary reported to the parent
+        # (delta propagation: unchanged summaries send only a keep-alive)
+        self.last_reported_fingerprint: Optional[bytes] = None
+        # optional extra child-acceptance say (domain affinity, load, ...)
+        self.accept_policy = None
+        self.alive = True
+
+    # -- tree structure ------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Distance from the root (root = 0)."""
+        return len(self.root_path) - 1
+
+    def child_ids(self) -> List[int]:
+        return [c.server_id for c in self.children]
+
+    def willing_to_accept(self, joiner_id: int) -> bool:
+        """Child-acceptance: capacity, loop avoidance, then local policy."""
+        if not (
+            self.alive
+            and len(self.children) < self.max_children
+            and joiner_id not in self.root_path
+        ):
+            return False
+        if self.accept_policy is not None:
+            return bool(self.accept_policy.accepts(self, joiner_id))
+        return True
+
+    def add_child(self, child: "Server") -> None:
+        if child.server_id in (c.server_id for c in self.children):
+            raise ValueError(f"server {child.server_id} is already a child")
+        if child.server_id in self.root_path:
+            raise ValueError(
+                f"joining server {child.server_id} is on the root path of "
+                f"server {self.server_id} (loop)"
+            )
+        child.parent = self
+        self.children.append(child)
+        child.refresh_root_path()
+        self.branch_stats[child.server_id] = BranchStats(
+            depth=child.subtree_depth(), descendants=child.subtree_size()
+        )
+        self._propagate_stats_up()
+
+    def remove_child(self, child_id: int) -> Optional["Server"]:
+        """Detach a child; its summary and stats are dropped (Section III-A)."""
+        for i, c in enumerate(self.children):
+            if c.server_id == child_id:
+                self.children.pop(i)
+                c.parent = None
+                self.branch_stats.pop(child_id, None)
+                self.child_summaries.pop(child_id, None)
+                self._propagate_stats_up()
+                return c
+        return None
+
+    def refresh_root_path(self) -> None:
+        """Recompute root paths for this subtree after reattachment."""
+        if self.parent is None:
+            self.root_path = [self.server_id]
+        else:
+            self.root_path = self.parent.root_path + [self.server_id]
+        for c in self.children:
+            c.refresh_root_path()
+
+    def _propagate_stats_up(self) -> None:
+        node = self
+        while node.parent is not None:
+            node.parent.branch_stats[node.server_id] = BranchStats(
+                depth=node.subtree_depth(), descendants=node.subtree_size()
+            )
+            node = node.parent
+
+    def subtree_depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(c.subtree_depth() for c in self.children)
+
+    def subtree_size(self) -> int:
+        """Number of servers in the subtree rooted here (including self)."""
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+    def iter_subtree(self) -> Iterator["Server"]:
+        yield self
+        for c in self.children:
+            yield from c.iter_subtree()
+
+    def siblings(self) -> List["Server"]:
+        if self.parent is None:
+            return []
+        return [c for c in self.parent.children if c.server_id != self.server_id]
+
+    def ancestors(self) -> List["Server"]:
+        """Proper ancestors, nearest first."""
+        out = []
+        node = self.parent
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    # -- owners ----------------------------------------------------------------
+    def attach_owner(self, owner: AttachedOwner) -> None:
+        if any(o.owner_id == owner.owner_id for o in self.owners):
+            raise ValueError(f"owner {owner.owner_id!r} already attached")
+        self.owners.append(owner)
+
+    def detach_owner(self, owner_id: str) -> Optional[AttachedOwner]:
+        for i, o in enumerate(self.owners):
+            if o.owner_id == owner_id:
+                return self.owners.pop(i)
+        return None
+
+    # -- summaries ----------------------------------------------------------------
+    def local_summary(
+        self, config: SummaryConfig, now: float = 0.0
+    ) -> Optional[ResourceSummary]:
+        """Summary of everything exported by directly attached owners."""
+        parts: List[ResourceSummary] = []
+        for o in self.owners:
+            if o.controls_server:
+                parts.append(ResourceSummary.from_store(o.origin, config, created_at=now))
+            elif o.summary is not None:
+                parts.append(o.summary)
+        if not parts:
+            return None
+        out = parts[0]
+        for p in parts[1:]:
+            out = out.merge(p)
+        return out
+
+    def branch_summary(
+        self, config: SummaryConfig, now: float = 0.0
+    ) -> Optional[ResourceSummary]:
+        """Local summary merged with the latest child branch summaries.
+
+        Uses the *reported* child summaries (soft state), not a live
+        recomputation — matching the bottom-up aggregation protocol.
+        """
+        parts: List[ResourceSummary] = []
+        local = self.local_summary(config, now)
+        if local is not None:
+            parts.append(local)
+        for cid in self.child_ids():
+            s = self.child_summaries.get(cid)
+            if s is not None and not s.is_expired(now):
+                parts.append(s)
+        if not parts:
+            return None
+        out = parts[0]
+        for p in parts[1:]:
+            out = out.merge(p)
+        return out
+
+    def expire_stale_summaries(self, now: float) -> int:
+        """Drop expired soft-state summaries; returns how many were dropped."""
+        dropped = 0
+        for table in (
+            self.child_summaries,
+            self.replicated_summaries,
+            self.replicated_local_summaries,
+        ):
+            stale = [k for k, s in table.items() if s.is_expired(now)]
+            for k in stale:
+                del table[k]
+                dropped += 1
+        return dropped
+
+    # -- storage accounting ----------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bytes of summaries and exported data held by this server.
+
+        This is the quantity Table I compares across designs.
+        """
+        total = 0
+        for o in self.owners:
+            total += o.exported_size_bytes
+        for s in self.child_summaries.values():
+            total += s.encoded_size()
+        for s in self.replicated_summaries.values():
+            total += s.encoded_size()
+        for s in self.replicated_local_summaries.values():
+            total += s.encoded_size()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(id={self.server_id}, depth={self.depth}, "
+            f"children={len(self.children)}, owners={len(self.owners)})"
+        )

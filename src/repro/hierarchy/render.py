@@ -1,0 +1,72 @@
+"""Plain-text rendering of a hierarchy.
+
+Handy in examples, failure drills, and debugging sessions: draws the
+tree with per-server annotations (depth, owners, child summary counts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .join import Hierarchy
+from .node import Server
+
+
+def default_label(server: Server) -> str:
+    parts = [f"server {server.server_id}"]
+    if server.owners:
+        names = ",".join(o.owner_id for o in server.owners[:3])
+        more = "…" if len(server.owners) > 3 else ""
+        parts.append(f"owners[{names}{more}]")
+    if not server.alive:
+        parts.append("DEAD")
+    return " ".join(parts)
+
+
+def render_tree(
+    hierarchy: Hierarchy,
+    label: Optional[Callable[[Server], str]] = None,
+) -> str:
+    """ASCII art of the hierarchy, root at the top.
+
+    ::
+
+        server 0 owners[owner-0]
+        ├── server 1 owners[owner-1]
+        │   ├── server 4 owners[owner-4]
+        │   └── server 5 owners[owner-5]
+        └── server 2 owners[owner-2]
+    """
+    fn = label if label is not None else default_label
+    lines: List[str] = [fn(hierarchy.root)]
+
+    def walk(server: Server, prefix: str) -> None:
+        children = server.children
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            connector = "└── " if last else "├── "
+            lines.append(prefix + connector + fn(child))
+            walk(child, prefix + ("    " if last else "│   "))
+
+    walk(hierarchy.root, "")
+    return "\n".join(lines)
+
+
+def tree_stats(hierarchy: Hierarchy) -> dict:
+    """Shape summary: size, levels, branching, balance."""
+    servers = hierarchy.servers()
+    internal = [s for s in servers if s.children]
+    leaves = [s for s in servers if not s.children]
+    depths = [s.depth for s in leaves]
+    return {
+        "servers": len(servers),
+        "levels": hierarchy.levels,
+        "leaves": len(leaves),
+        "mean_branching": (
+            sum(len(s.children) for s in internal) / len(internal)
+            if internal
+            else 0.0
+        ),
+        "min_leaf_depth": min(depths) if depths else 0,
+        "max_leaf_depth": max(depths) if depths else 0,
+    }

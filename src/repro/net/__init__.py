@@ -1,0 +1,6 @@
+"""Simulated wide-area network: delay space and message transport."""
+
+from .coordinates import DELAY_SPACE_DIMENSIONS, DelaySpace
+from .transport import Message, Network
+
+__all__ = ["DelaySpace", "DELAY_SPACE_DIMENSIONS", "Network", "Message"]

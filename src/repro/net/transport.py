@@ -1,0 +1,135 @@
+"""Message transport over the simulated network.
+
+The :class:`Network` binds a :class:`~repro.sim.engine.Simulator`, a
+:class:`~repro.net.coordinates.DelaySpace` and a
+:class:`~repro.sim.metrics.MetricsCollector`. Sending a message schedules
+its delivery callback after the pairwise one-way delay and accounts its
+size under the given traffic category. Failed nodes silently drop inbound
+messages (the sender learns of failures only via missing heartbeats, as in
+the paper's maintenance protocol).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+from ..sim.engine import Simulator
+from ..sim.metrics import MetricsCollector
+
+_msg_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight message between two node indices."""
+
+    src: int
+    dst: int
+    category: str
+    size_bytes: int
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+
+class Network:
+    """Latency-accurate, loss-free (except node failure) message fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_space,
+        metrics: Optional[MetricsCollector] = None,
+        *,
+        processing_delay: float = 0.0005,
+        loss_rate: float = 0.0,
+        rng=None,
+    ):
+        """
+        Parameters
+        ----------
+        processing_delay:
+            Fixed per-message handling time at the receiver in seconds,
+            modelling (cheap) summary evaluation / forwarding decisions.
+        loss_rate:
+            Probability that any individual message is silently lost in
+            transit (failure injection for robustness tests). Requires
+            *rng* when non-zero.
+        """
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("loss_rate > 0 requires an rng")
+        self.sim = sim
+        self.delay_space = delay_space
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.processing_delay = processing_delay
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._failed: Set[int] = set()
+        self.dropped = 0
+        self.lost = 0
+
+    # -- membership ----------------------------------------------------------------
+    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Install the inbound-message handler for *node*."""
+        self._handlers[node] = handler
+
+    def unregister(self, node: int) -> None:
+        self._handlers.pop(node, None)
+
+    def fail_node(self, node: int) -> None:
+        """Mark *node* failed: all inbound messages are dropped."""
+        self._failed.add(node)
+
+    def recover_node(self, node: int) -> None:
+        self._failed.discard(node)
+
+    def is_failed(self, node: int) -> bool:
+        return node in self._failed
+
+    # -- sending ----------------------------------------------------------------
+    def latency(self, a: int, b: int) -> float:
+        return self.delay_space.latency(a, b)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        category: str,
+        size_bytes: int,
+        payload: Any = None,
+        on_delivery: Optional[Callable[[Message], None]] = None,
+    ) -> Message:
+        """Send a message; returns the :class:`Message` descriptor.
+
+        Traffic is accounted at send time (the bytes hit the wire whether
+        or not the destination is alive). Delivery invokes *on_delivery*
+        when given, else the destination's registered handler.
+        """
+        msg = Message(src=src, dst=dst, category=category,
+                      size_bytes=int(size_bytes), payload=payload)
+        self.metrics.record_message(category, msg.size_bytes)
+        if src in self._failed:
+            # A failed node cannot transmit; bytes were not actually sent.
+            self.metrics.bytes_by_category[category] -= msg.size_bytes
+            self.metrics.messages_by_category[category] -= 1
+            self.dropped += 1
+            return msg
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.lost += 1
+            return msg  # bytes were sent; the message never arrives
+        delay = self.delay_space.latency(src, dst) + self.processing_delay
+
+        def deliver() -> None:
+            if msg.dst in self._failed:
+                self.dropped += 1
+                return
+            handler = on_delivery if on_delivery is not None else self._handlers.get(msg.dst)
+            if handler is not None:
+                handler(msg)
+
+        self.sim.schedule(delay, deliver)
+        return msg

@@ -1,0 +1,27 @@
+"""Replication overlay: summary replication and start-anywhere routing."""
+
+from .replication import (
+    ReplicationOverlay,
+    ReplicationReport,
+    coverage_ids,
+    replication_sources,
+)
+from .routing import (
+    RoutingDecision,
+    decide_descent,
+    decide_local,
+    decide_start,
+    scope_candidates,
+)
+
+__all__ = [
+    "ReplicationOverlay",
+    "ReplicationReport",
+    "replication_sources",
+    "coverage_ids",
+    "RoutingDecision",
+    "decide_start",
+    "decide_local",
+    "decide_descent",
+    "scope_candidates",
+]

@@ -1,0 +1,175 @@
+"""Replication overlay (Section III-C).
+
+Each server replicates the branch summaries of its **siblings**, its
+**ancestors**, and its **ancestors' siblings** — chosen so the summaries
+held locally (together with the server's own children/owner summaries)
+cover the entire hierarchy, letting a search start at any server.
+
+Replication piggybacks on the hierarchy: a server's branch summary is
+propagated down its own branch, and its parent forwards it to its siblings
+which propagate it to their descendants. Each replicated summary therefore
+reaches each holder across one tree edge per round; we account one message
+of the summary's encoded size per (holder, replicated summary) pair, which
+reproduces the paper's ``O(k·n·log n)`` replication message term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..sim.metrics import UPDATE, MetricsCollector
+from ..summaries.config import SummaryConfig
+from ..summaries.summary import ResourceSummary
+from ..hierarchy.join import Hierarchy
+from ..hierarchy.node import Server
+
+_HEADER_BYTES = 16
+
+
+def replication_sources(server: Server) -> List[Server]:
+    """The servers whose branch summaries *server* must replicate.
+
+    Ordered: own siblings, then (ancestor, ancestor's siblings) from the
+    nearest ancestor up to the root. For the node ``D1`` of the paper's
+    Figure 2 this yields ``[D2, C1, C2, B1, B2, A]``.
+    """
+    out: List[Server] = []
+    out.extend(server.siblings())
+    for anc in server.ancestors():
+        out.append(anc)
+        out.extend(anc.siblings())
+    return out
+
+
+def coverage_ids(server: Server) -> Set[int]:
+    """All server ids covered by *server*'s local + replicated summaries.
+
+    Own branch, sibling branches, and ancestor-sibling branches partition
+    the hierarchy, so this must equal the full membership — the invariant
+    the overlay is designed around. Ancestor summaries overlap this cover
+    (they include the server's own branch) and add no new ids.
+    """
+    covered: Set[int] = {s.server_id for s in server.iter_subtree()}
+    for src in replication_sources(server):
+        covered.update(s.server_id for s in src.iter_subtree())
+    return covered
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of one overlay replication round."""
+
+    replication_bytes: int
+    messages: int
+    #: delta propagation: full summary sends vs keep-alive refreshes
+    full_sends: int = 0
+    keepalive_sends: int = 0
+
+
+class ReplicationOverlay:
+    """Maintains replicated summaries across a hierarchy."""
+
+    def __init__(self, hierarchy: Hierarchy, config: SummaryConfig):
+        self.hierarchy = hierarchy
+        self.config = config
+        # last shipped fingerprint per (holder, source, table) for deltas
+        self._last_fp: Dict[tuple, bytes] = {}
+
+    def replicate_round(
+        self,
+        now: float = 0.0,
+        metrics: Optional[MetricsCollector] = None,
+        *,
+        delta: bool = False,
+    ) -> ReplicationReport:
+        """Refresh every server's replicated summaries from current state.
+
+        Must run after an aggregation round so branch summaries are fresh.
+        With ``delta=True``, a replica whose source summary is unchanged
+        since the last round costs only a keep-alive header.
+        """
+        # Compute each server's branch and local summaries once.
+        branch: Dict[int, Optional[ResourceSummary]] = {}
+        local: Dict[int, Optional[ResourceSummary]] = {}
+        for server in self.hierarchy:
+            branch[server.server_id] = server.branch_summary(self.config, now)
+            local[server.server_id] = server.local_summary(self.config, now)
+
+        total_bytes = 0
+        messages = 0
+        full_sends = 0
+        keepalive_sends = 0
+        # Fingerprints computed once per source per round.
+        fp_cache: Dict[tuple, bytes] = {}
+
+        def fp_of(table: str, src_id: int, summary: ResourceSummary) -> bytes:
+            key = (table, src_id)
+            fp = fp_cache.get(key)
+            if fp is None:
+                fp = summary.fingerprint()
+                fp_cache[key] = fp
+            return fp
+
+        def ship(server: Server, table: str, src_id: int,
+                 summary: ResourceSummary, target: Dict[int, ResourceSummary]) -> None:
+            nonlocal total_bytes, messages, full_sends, keepalive_sends
+            target[src_id] = summary
+            size = _HEADER_BYTES
+            key = (server.server_id, src_id, table)
+            if delta:
+                fp = fp_of(table, src_id, summary)
+                if self._last_fp.get(key) == fp:
+                    keepalive_sends += 1
+                else:
+                    size += summary.encoded_size()
+                    full_sends += 1
+                self._last_fp[key] = fp
+            else:
+                size += summary.encoded_size()
+                full_sends += 1
+            total_bytes += size
+            messages += 1
+            if metrics is not None:
+                metrics.record_message(UPDATE, size)
+
+        for server in self.hierarchy:
+            server.replicated_summaries.clear()
+            server.replicated_local_summaries.clear()
+            for src in replication_sources(server):
+                summary = branch.get(src.server_id)
+                if summary is None:
+                    continue
+                ship(server, "branch", src.server_id, summary,
+                     server.replicated_summaries)
+            # Ancestors additionally ship their local-owner summaries
+            # (piggybacked on the same downward propagation) so a start
+            # server can tell whether the ancestor itself holds data.
+            for anc in server.ancestors():
+                summary = local.get(anc.server_id)
+                if summary is None:
+                    continue
+                ship(server, "local", anc.server_id, summary,
+                     server.replicated_local_summaries)
+        return ReplicationReport(
+            replication_bytes=total_bytes,
+            messages=messages,
+            full_sends=full_sends,
+            keepalive_sends=keepalive_sends,
+        )
+
+    def check_coverage(self) -> None:
+        """Assert the whole-hierarchy coverage invariant for every server."""
+        all_ids = {s.server_id for s in self.hierarchy}
+        for server in self.hierarchy:
+            covered = coverage_ids(server)
+            missing = all_ids - covered
+            assert not missing, (
+                f"server {server.server_id} overlay does not cover {sorted(missing)}"
+            )
+
+    def per_node_message_counts(self) -> Dict[int, int]:
+        """Replication messages received per node per round (paper eq. 4)."""
+        return {
+            s.server_id: len(replication_sources(s)) for s in self.hierarchy
+        }

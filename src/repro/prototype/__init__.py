@@ -1,0 +1,21 @@
+"""Prototype benchmarking substrate (Figure 11's testbed, simulated)."""
+
+from .backend import BackendCostModel, RecordBackend, SearchResult
+from .response import (
+    CentralResponder,
+    ResponseOutcome,
+    RoadsResponder,
+    SwordResponder,
+    summarize_responses,
+)
+
+__all__ = [
+    "BackendCostModel",
+    "RecordBackend",
+    "SearchResult",
+    "RoadsResponder",
+    "CentralResponder",
+    "SwordResponder",
+    "ResponseOutcome",
+    "summarize_responses",
+]

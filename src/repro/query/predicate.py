@@ -1,0 +1,93 @@
+"""Query predicates.
+
+A ROADS query is a conjunction of per-attribute predicates: range
+predicates on numeric attributes (``rate > 150Kbps`` is the half-open range
+``(150, +inf)`` clipped to the attribute bounds) and equality predicates on
+categorical attributes (``encoding = MPEG2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..records.store import RecordStore
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """``lo <= attr <= hi`` on a numeric attribute."""
+
+    attribute: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (self.lo <= self.hi):
+            raise ValueError(
+                f"range predicate on {self.attribute!r}: lo={self.lo} > hi={self.hi}"
+            )
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+    def mask(self, store: RecordStore) -> np.ndarray:
+        return store.mask_range(self.attribute, self.lo, self.hi)
+
+    def matches_value(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of this predicate in a query message.
+
+        Attribute id + two range endpoints, 8 bytes each — comparable to
+        the paper's unit-size attribute values.
+        """
+        return 24
+
+    def __str__(self) -> str:
+        return f"{self.lo:g} <= {self.attribute} <= {self.hi:g}"
+
+
+@dataclass(frozen=True)
+class EqualsPredicate:
+    """``attr == value`` on a categorical attribute."""
+
+    attribute: str
+    value: str
+
+    def mask(self, store: RecordStore) -> np.ndarray:
+        return store.mask_equals(self.attribute, self.value)
+
+    def matches_value(self, value: str) -> bool:
+        return value == self.value
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 + len(self.value.encode("utf-8"))
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.value}"
+
+
+Predicate = Union[RangePredicate, EqualsPredicate]
+
+
+def greater_than(attribute: str, threshold: float, upper_bound: float = 1.0) -> RangePredicate:
+    """``attr > threshold``, expressed as a closed range up to *upper_bound*.
+
+    The strictness of the bound is immaterial for continuous workloads; the
+    summary evaluation of ``rate > 150`` in the paper checks whether any
+    histogram bucket beyond 150 is non-empty, which is exactly range
+    evaluation on ``(150, upper_bound]``.
+    """
+    return RangePredicate(attribute, np.nextafter(threshold, np.inf), upper_bound)
+
+
+def less_than(attribute: str, threshold: float, lower_bound: float = 0.0) -> RangePredicate:
+    """``attr < threshold`` as a closed range from *lower_bound*."""
+    return RangePredicate(attribute, lower_bound, np.nextafter(threshold, -np.inf))

@@ -1,0 +1,156 @@
+"""Sorted-column indexes for record stores.
+
+The paper's prototype attaches a DB2 database to every server; real
+backends answer range predicates from indexes rather than scans. A
+:class:`SortedIndex` keeps one argsort per numeric column and answers
+``lo <= x <= hi`` with two binary searches, returning either a count
+(O(log n)) or the matching row ids (O(log n + k)).
+
+:class:`IndexedStore` wraps a :class:`~repro.records.store.RecordStore`
+with indexes over all (or selected) numeric attributes and evaluates
+conjunctive queries index-first: the most selective indexed predicate
+supplies the candidate rows, the remaining predicates filter them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..query.predicate import EqualsPredicate, RangePredicate
+from ..query.query import Query
+from .store import RecordStore
+
+
+class SortedIndex:
+    """Binary-search index over one numeric column."""
+
+    def __init__(self, values: np.ndarray):
+        values = np.asarray(values, dtype=np.float64)
+        self._order = np.argsort(values, kind="stable")
+        self._sorted = values[self._order]
+
+    def __len__(self) -> int:
+        return int(self._sorted.shape[0])
+
+    def count_range(self, lo: float, hi: float) -> int:
+        """How many values lie in [lo, hi] — two binary searches."""
+        left = int(np.searchsorted(self._sorted, lo, side="left"))
+        right = int(np.searchsorted(self._sorted, hi, side="right"))
+        return max(0, right - left)
+
+    def rows_in_range(self, lo: float, hi: float) -> np.ndarray:
+        """Row ids (original order) of values in [lo, hi]."""
+        left = int(np.searchsorted(self._sorted, lo, side="left"))
+        right = int(np.searchsorted(self._sorted, hi, side="right"))
+        return self._order[left:right]
+
+    def min_value(self) -> float:
+        return float(self._sorted[0]) if len(self) else np.nan
+
+    def max_value(self) -> float:
+        return float(self._sorted[-1]) if len(self) else np.nan
+
+
+class IndexedStore:
+    """A record store with sorted indexes over its numeric attributes.
+
+    Indexes are built eagerly; call :meth:`rebuild` after mutating the
+    underlying store (dynamic records invalidate them).
+    """
+
+    def __init__(
+        self,
+        store: RecordStore,
+        attributes: Optional[Sequence[str]] = None,
+    ):
+        self.store = store
+        names = (
+            list(attributes)
+            if attributes is not None
+            else [a.name for a in store.schema.numeric_attributes]
+        )
+        for name in names:
+            if not store.schema[name].is_numeric:
+                raise ValueError(f"cannot index categorical attribute {name!r}")
+        self._indexed_names = names
+        self._indexes: Dict[str, SortedIndex] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Re-derive every index from the current store contents."""
+        self._indexes = {
+            name: SortedIndex(self.store.numeric_column(name))
+            for name in self._indexed_names
+        }
+
+    def index_for(self, name: str) -> SortedIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise KeyError(f"attribute {name!r} is not indexed") from None
+
+    @property
+    def indexed_attributes(self) -> List[str]:
+        return list(self._indexed_names)
+
+    # -- query evaluation ----------------------------------------------------------
+    def _split(self, query: Query) -> Tuple[List[RangePredicate], list]:
+        indexed, rest = [], []
+        for p in query.predicates:
+            if isinstance(p, RangePredicate) and p.attribute in self._indexes:
+                indexed.append(p)
+            else:
+                rest.append(p)
+        return indexed, rest
+
+    def candidate_rows(self, query: Query) -> Optional[np.ndarray]:
+        """Rows surviving the most selective indexed predicate.
+
+        ``None`` when no predicate is indexed (falls back to a scan).
+        """
+        indexed, _ = self._split(query)
+        if not indexed:
+            return None
+        best = min(
+            indexed,
+            key=lambda p: self._indexes[p.attribute].count_range(p.lo, p.hi),
+        )
+        return self._indexes[best.attribute].rows_in_range(best.lo, best.hi)
+
+    def match_rows(self, query: Query) -> np.ndarray:
+        """Exact matching row ids, index-first then filtered."""
+        rows = self.candidate_rows(query)
+        if rows is None:
+            return np.flatnonzero(query.mask(self.store))
+        if rows.size == 0:
+            return rows
+        mask = np.ones(rows.size, dtype=bool)
+        matrix = self.store.numeric_matrix
+        for p in query.predicates:
+            if isinstance(p, RangePredicate):
+                col = matrix[rows, self.store.schema.numeric_position(p.attribute)]
+                mask &= (col >= p.lo) & (col <= p.hi)
+            else:
+                assert isinstance(p, EqualsPredicate)
+                codes = self.store.categorical_codes(p.attribute)[rows]
+                vocab = dict(
+                    (v, i) for i, v in enumerate(self.store.vocabulary(p.attribute))
+                )
+                code = vocab.get(p.value, -1)
+                mask &= codes == code
+        return rows[mask]
+
+    def match_count(self, query: Query) -> int:
+        return int(self.match_rows(query).size)
+
+    def estimated_count(self, query: Query) -> int:
+        """Cheap upper bound: min over indexed dims of the range count."""
+        indexed, _ = self._split(query)
+        if not indexed:
+            return len(self.store)
+        return min(
+            self._indexes[p.attribute].count_range(p.lo, p.hi)
+            for p in indexed
+        )

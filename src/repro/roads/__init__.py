@@ -1,0 +1,31 @@
+"""ROADS: the paper's primary contribution, assembled."""
+
+from .client import OwnerHit, QueryExecution, QueryOutcome
+from .config import RoadsConfig
+from .policy import (
+    AllowListPolicy,
+    DenyAllPolicy,
+    OpenPolicy,
+    PolicyTable,
+    RateLimitPolicy,
+    SharingPolicy,
+    TieredPolicy,
+)
+from .system import GuestOwner, RoadsSystem, UpdateRoundReport
+
+__all__ = [
+    "RoadsSystem",
+    "RoadsConfig",
+    "GuestOwner",
+    "UpdateRoundReport",
+    "QueryExecution",
+    "QueryOutcome",
+    "OwnerHit",
+    "SharingPolicy",
+    "OpenPolicy",
+    "DenyAllPolicy",
+    "AllowListPolicy",
+    "TieredPolicy",
+    "RateLimitPolicy",
+    "PolicyTable",
+]

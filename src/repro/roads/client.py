@@ -1,0 +1,348 @@
+"""Client-driven query execution over the simulated network.
+
+The search protocol (Sections III-A and III-C) is client-driven: the
+client sends the query to a start server; the server evaluates it against
+all summaries it holds and *redirects* the client; the client then queries
+the redirected servers, which redirect it further down their branches,
+until the query has reached every server whose summaries match.
+
+Latency is measured exactly as in the paper: from query initiation until
+the query reaches the **last server it needs to contact** (record
+retrieval time is excluded here; the prototype benchmark adds it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..net.transport import Message, Network
+from ..query.query import Query
+from ..records.store import RecordStore
+from ..sim.engine import Simulator
+from ..sim.metrics import QUERY
+from ..summaries.config import SummaryConfig
+from ..hierarchy.join import Hierarchy
+from ..hierarchy.node import AttachedOwner, Server
+from ..overlay.routing import (
+    RoutingDecision,
+    decide_descent,
+    decide_local,
+    decide_start,
+)
+from .policy import PolicyTable
+
+#: acknowledgement size when an owner returns only a match count
+_ACK_BYTES = 16
+
+
+@dataclass
+class OwnerHit:
+    """A resource owner whose data matched (per its summaries) a query."""
+
+    owner_id: str
+    server_id: int
+    arrival_time: float
+    match_count: int
+    records: Optional[RecordStore] = None
+    false_positive: bool = False
+
+
+@dataclass
+class QueryOutcome:
+    """Everything measured about one query execution."""
+
+    query: Query
+    start_server: int
+    client_node: int
+    started_at: float = 0.0
+    #: per-server time the query message arrived
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    owner_hits: List[OwnerHit] = field(default_factory=list)
+    query_bytes: int = 0
+    query_messages: int = 0
+    completed: bool = False
+    timed_out_servers: Set[int] = field(default_factory=set)
+    #: optional event log: (sim time, event, subject, detail) tuples
+    trace: List[tuple] = field(default_factory=list)
+
+    def format_trace(self) -> str:
+        """Human-readable rendering of the event trace."""
+        lines = []
+        for t, event, subject, detail in self.trace:
+            rel = (t - self.started_at) * 1000
+            lines.append(f"{rel:8.1f} ms  {event:<9} {subject} {detail}")
+        return "\n".join(lines)
+
+    @property
+    def latency(self) -> float:
+        """Seconds until the query reached the last contacted server."""
+        if not self.arrivals:
+            return 0.0
+        return max(self.arrivals.values()) - self.started_at
+
+    @property
+    def servers_contacted(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def total_matches(self) -> int:
+        return sum(h.match_count for h in self.owner_hits)
+
+    def matched_records(self) -> Optional[RecordStore]:
+        """Union of returned record stores (when records were collected)."""
+        stores = [h.records for h in self.owner_hits if h.records is not None]
+        if not stores:
+            return None
+        out = stores[0]
+        for s in stores[1:]:
+            out = out.merged_with(s)
+        return out
+
+
+class QueryExecution:
+    """One client's interaction for one query."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        hierarchy: Hierarchy,
+        summary_config: SummaryConfig,
+        policies: PolicyTable,
+        query: Query,
+        client_node: int,
+        start_server_id: int,
+        *,
+        collect_records: bool = False,
+        timeout: float = 5.0,
+        retries: int = 1,
+        first_k: Optional[int] = None,
+        trace: bool = False,
+    ):
+        self.sim = sim
+        self.network = network
+        self.hierarchy = hierarchy
+        self.summary_config = summary_config
+        self.policies = policies
+        self.query = query
+        self.client_node = client_node
+        self.collect_records = collect_records
+        self.timeout = timeout
+        #: how many times a timed-out contact is retried before the
+        #: client gives up on that server (lossy networks lose single
+        #: messages far more often than whole servers)
+        self.retries = retries
+        #: stop issuing new contacts once this many matches are in hand
+        #: (best-effort early termination; in-flight contacts complete)
+        self.first_k = first_k
+        self._tracing = trace
+        self.outcome = QueryOutcome(
+            query=query, start_server=start_server_id, client_node=client_node
+        )
+        self._outstanding = 0
+        self._contacted: Set[int] = set()
+        self._answered_owners: Set[str] = set()
+        self._done = False
+
+    def _trace(self, event: str, subject, detail="") -> None:
+        if self._tracing:
+            self.outcome.trace.append((self.sim.now, event, subject, detail))
+
+    # -- driving ----------------------------------------------------------------
+    def start(self) -> "QueryExecution":
+        self.outcome.started_at = self.sim.now
+        self._contact(self.outcome.start_server, mode="start")
+        return self
+
+    def run(self) -> QueryOutcome:
+        """Start and run the simulator until this query completes."""
+        self.start()
+        # Events from other activity may interleave; loop until done.
+        while not self._done and self.sim.step():
+            pass
+        return self.outcome
+
+    # -- internals ----------------------------------------------------------------
+    def _account(self, size_bytes: int) -> None:
+        self.outcome.query_bytes += size_bytes
+        self.outcome.query_messages += 1
+
+    def _contact(self, server_id: int, *, mode: str) -> None:
+        if server_id in self._contacted:
+            return
+        self._contacted.add(server_id)
+        self._outstanding += 1
+        state = {"replied": False, "attempts": 0}
+
+        def attempt() -> None:
+            state["attempts"] += 1
+            self._trace(
+                "send",
+                f"server {server_id}",
+                f"mode={mode} try={state['attempts']}",
+            )
+            self._account(self.query.size_bytes)
+            self.network.send(
+                self.client_node,
+                server_id,
+                QUERY,
+                self.query.size_bytes,
+                payload=self.query,
+                on_delivery=lambda msg: self._at_server(server_id, mode, state),
+            )
+            state["timeout_event"] = self.sim.schedule(self.timeout, expire)
+
+        def expire() -> None:
+            if state["replied"]:
+                return
+            if state["attempts"] <= self.retries:
+                self._trace("retry", f"server {server_id}")
+                attempt()
+                return
+            state["replied"] = True
+            self.outcome.timed_out_servers.add(server_id)
+            self._trace("timeout", f"server {server_id}")
+            self._finish_one()
+
+        attempt()
+
+    def _get_server(self, server_id: int) -> Optional[Server]:
+        try:
+            server = self.hierarchy.get(server_id)
+        except KeyError:
+            return None
+        return server if server.alive else None
+
+    def _at_server(self, server_id: int, mode: str, state: Dict) -> None:
+        server = self._get_server(server_id)
+        if server is None:
+            return  # silent; the client-side timeout reclaims the slot
+        self.outcome.arrivals.setdefault(server_id, self.sim.now)
+        self._trace("arrive", f"server {server_id}")
+        decide = {
+            "start": decide_start,
+            "descent": decide_descent,
+            "local": decide_local,
+        }[mode]
+        decision = decide(server, self.query, self.summary_config, self.sim.now)
+        for owner in decision.owner_hits:
+            self._evaluate_owner(owner, server_id)
+        self._account(decision.response_size_bytes)
+        self.network.send(
+            server_id,
+            self.client_node,
+            QUERY,
+            decision.response_size_bytes,
+            payload=decision,
+            on_delivery=lambda msg: self._on_redirects(decision, state),
+        )
+
+    def _evaluate_owner(self, owner: AttachedOwner, server_id: int) -> None:
+        """The query may have matching data at *owner*.
+
+        Owners co-located with their attachment point (they control the
+        server, or no separate node is declared) answer on the spot; a
+        guest owner only exported a summary, so the client must send the
+        query one hop further to the owner's own node.
+        """
+        remote = (
+            not owner.controls_server
+            and owner.node_id is not None
+            and owner.node_id != server_id
+        )
+        if remote:
+            self._contact_owner_node(owner)
+            return
+        self._record_owner_answer(owner, server_id, self.sim.now)
+
+    def _record_owner_answer(
+        self, owner: AttachedOwner, at_node: int, arrival: float
+    ) -> None:
+        """Apply the owner's local policy and record the hit.
+
+        Idempotent per owner: a retried contact (lost response) must not
+        double-count the owner's records.
+        """
+        if owner.owner_id in self._answered_owners:
+            return
+        self._answered_owners.add(owner.owner_id)
+        answered = self.policies.answer(owner.owner_id, self.query, owner.origin)
+        hit = OwnerHit(
+            owner_id=owner.owner_id,
+            server_id=at_node,
+            arrival_time=arrival,
+            match_count=len(answered),
+            records=answered if self.collect_records else None,
+            false_positive=(len(answered) == 0),
+        )
+        self.outcome.owner_hits.append(hit)
+        self._trace("owner", owner.owner_id, f"matches={hit.match_count}")
+
+    def _contact_owner_node(self, owner: AttachedOwner) -> None:
+        """Forward the query to a guest owner's own node."""
+        node = owner.node_id
+        assert node is not None
+        if node in self._contacted:
+            return
+        self._contacted.add(node)
+        self._outstanding += 1
+        self._account(self.query.size_bytes)
+
+        def at_owner(msg: Message) -> None:
+            self.outcome.arrivals.setdefault(node, self.sim.now)
+            self._record_owner_answer(owner, node, self.sim.now)
+            self._account(_ACK_BYTES)
+            self.network.send(
+                node,
+                self.client_node,
+                QUERY,
+                _ACK_BYTES,
+                on_delivery=lambda _msg: self._finish_one(),
+            )
+
+        self.network.send(
+            self.client_node,
+            node,
+            QUERY,
+            self.query.size_bytes,
+            payload=self.query,
+            on_delivery=at_owner,
+        )
+
+    def _on_redirects(self, decision: RoutingDecision, state: Dict) -> None:
+        if state["replied"]:
+            return
+        state["replied"] = True
+        ev = state.get("timeout_event")
+        if ev is not None:
+            ev.cancel()  # don't let dead timers drag the clock forward
+        if not self._satisfied():
+            if decision.redirect_ids or decision.owners_only_ids:
+                self._trace(
+                    "redirect",
+                    f"server {decision.server_id}",
+                    f"-> {decision.redirect_ids + decision.owners_only_ids}",
+                )
+            for rid in decision.redirect_ids:
+                self._contact(rid, mode="descent")
+            for rid in decision.owners_only_ids:
+                self._contact(rid, mode="local")
+        elif decision.redirect_ids or decision.owners_only_ids:
+            self._trace("satisfied", f"server {decision.server_id}",
+                        f"skipping {len(decision.redirect_ids)} redirects")
+        self._finish_one()
+
+    def _satisfied(self) -> bool:
+        return (
+            self.first_k is not None
+            and self.outcome.total_matches >= self.first_k
+        )
+
+    def _finish_one(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0 and not self._done:
+            self._done = True
+            # Completed means the fan-out fully resolved; timed-out servers
+            # (failures) are reported separately on the outcome.
+            self.outcome.completed = True

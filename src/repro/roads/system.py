@@ -1,0 +1,386 @@
+"""The assembled ROADS system.
+
+:class:`RoadsSystem` wires together every substrate: the simulator, delay
+space and network, the federated hierarchy, bottom-up aggregation, the
+replication overlay, per-owner sharing policies, and client-driven query
+execution. This is the library's primary entry point::
+
+    from repro.roads import RoadsSystem, RoadsConfig
+    from repro.workload import WorkloadConfig, generate_node_stores
+
+    cfg = RoadsConfig(num_nodes=64, records_per_node=100)
+    stores = generate_node_stores(WorkloadConfig(num_nodes=64, records_per_node=100))
+    system = RoadsSystem.build(cfg, stores)
+    outcome = system.execute_query(query)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.coordinates import DelaySpace
+from ..net.transport import Network
+from ..query.query import Query
+from ..records.store import RecordStore
+from ..sim.engine import Simulator
+from ..sim.metrics import QUERY, UPDATE, MetricsCollector
+from ..sim.rng import SeedSequenceFactory
+from ..hierarchy.aggregation import aggregate_round, AggregationReport
+from ..hierarchy.join import Hierarchy, build_hierarchy
+from ..hierarchy.maintenance import MaintenanceConfig, MaintenanceProtocol
+from ..hierarchy.node import AttachedOwner, Server
+from ..overlay.replication import ReplicationOverlay, ReplicationReport
+from .client import QueryExecution, QueryOutcome
+from .config import RoadsConfig
+from .policy import PolicyTable, SharingPolicy
+
+
+@dataclass
+class GuestOwner:
+    """A resource owner without a server of its own (Figure 1, owner D).
+
+    The guest lives at its own network node, attaches to an existing
+    server (``attach_to``), and exports only a summary there — keeping
+    its detailed records to itself. Queries matching the summary cost the
+    client one extra hop to the guest's node.
+    """
+
+    store: RecordStore
+    attach_to: int
+    owner_id: Optional[str] = None
+
+
+@dataclass
+class UpdateRoundReport:
+    """Byte accounting for one summary epoch (t_s)."""
+
+    aggregation: AggregationReport
+    replication: ReplicationReport
+
+    @property
+    def total_bytes(self) -> int:
+        return self.aggregation.total_bytes + self.replication.replication_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return self.aggregation.messages + self.replication.messages
+
+
+class RoadsSystem:
+    """A simulated ROADS federation."""
+
+    def __init__(
+        self,
+        config: RoadsConfig,
+        sim: Simulator,
+        network: Network,
+        hierarchy: Hierarchy,
+        overlay: ReplicationOverlay,
+        policies: PolicyTable,
+    ):
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.hierarchy = hierarchy
+        self.overlay = overlay
+        self.policies = policies
+        self.metrics = network.metrics
+        self.maintenance: Optional[MaintenanceProtocol] = None
+        self._rng = np.random.default_rng(config.seed)
+        self.last_update_report: Optional[UpdateRoundReport] = None
+        # guest owner -> current attachment server id
+        self._guest_attachment: Dict[str, int] = {}
+        self._guest_owners: Dict[str, AttachedOwner] = {}
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: RoadsConfig,
+        stores: Sequence[RecordStore],
+        *,
+        join_order: Optional[Sequence[int]] = None,
+        guests: Sequence[GuestOwner] = (),
+        refresh: bool = True,
+    ) -> "RoadsSystem":
+        """Build a federation of ``len(stores)`` nodes.
+
+        Node ``i`` runs server ``i`` and owns ``stores[i]``, attached to its
+        own server (raw records stay local; only summaries travel — the
+        paper's evaluation setup). A custom *join_order* permutes the
+        incremental joins (the first id becomes the root).
+
+        *guests* are additional resource owners without servers: guest
+        ``g`` occupies network node ``num_nodes + g`` and exports only a
+        summary to its chosen attachment server.
+        """
+        n = len(stores)
+        if n != config.num_nodes:
+            raise ValueError(
+                f"config.num_nodes={config.num_nodes} but {n} stores supplied"
+            )
+        seeds = SeedSequenceFactory(config.seed)
+        sim = Simulator()
+        delay_space = DelaySpace(
+            n + len(guests),
+            seeds.generator("delay-space"),
+            scale_ms=config.delay_scale_ms,
+            base_ms=config.delay_base_ms,
+            jitter_ms=config.delay_jitter_ms,
+        )
+        network = Network(sim, delay_space, MetricsCollector())
+        order = list(join_order) if join_order is not None else list(range(n))
+        if sorted(order) != list(range(n)):
+            raise ValueError("join_order must be a permutation of node ids")
+        servers = [
+            Server(i, max_children=config.max_children) for i in order
+        ]
+        hierarchy = build_hierarchy(servers)
+        for i in range(n):
+            hierarchy.get(i).attach_owner(
+                AttachedOwner(
+                    owner_id=f"owner-{i}",
+                    origin=stores[i],
+                    controls_server=True,
+                    node_id=i,
+                )
+            )
+        guest_owners = []
+        for g, guest in enumerate(guests):
+            if not (0 <= guest.attach_to < n):
+                raise ValueError(
+                    f"guest {g} attach_to={guest.attach_to} is not a server id"
+                )
+            owner = AttachedOwner(
+                owner_id=guest.owner_id or f"guest-{g}",
+                origin=guest.store,
+                controls_server=False,
+                node_id=n + g,
+            )
+            hierarchy.get(guest.attach_to).attach_owner(owner)
+            guest_owners.append((owner, guest.attach_to))
+        overlay = ReplicationOverlay(hierarchy, config.summary)
+        system = cls(config, sim, network, hierarchy, overlay, PolicyTable())
+        for owner, sid in guest_owners:
+            system._guest_owners[owner.owner_id] = owner
+            system._guest_attachment[owner.owner_id] = sid
+        if refresh:
+            system.refresh()
+        return system
+
+    # -- guest attachment maintenance ---------------------------------------------
+    def reattach_orphaned_guests(self) -> int:
+        """Re-home guests whose attachment point died.
+
+        Attachment-point selection "follows a similar process as choosing
+        a parent server" (Section III-A); we pick the alive server
+        nearest to the guest's own node. Returns how many guests moved.
+        Run :meth:`refresh` afterwards so the new summaries propagate.
+        """
+        moved = 0
+        alive_ids = [s.server_id for s in self.hierarchy if s.alive]
+        if not alive_ids:
+            return 0
+        for owner_id, sid in list(self._guest_attachment.items()):
+            healthy = (
+                sid in self.hierarchy
+                and self.hierarchy.get(sid).alive
+                and not self.network.is_failed(sid)
+            )
+            if healthy:
+                continue
+            owner = self._guest_owners[owner_id]
+            # Detach from the dead server if the object still lists us.
+            if sid in self.hierarchy:
+                self.hierarchy.get(sid).detach_owner(owner_id)
+            new_sid = self.network.delay_space.nearest(owner.node_id, alive_ids)
+            self.hierarchy.get(new_sid).attach_owner(owner)
+            self._guest_attachment[owner_id] = new_sid
+            moved += 1
+        return moved
+
+    # -- policies ----------------------------------------------------------------
+    def set_policy(self, owner_id: str, policy: SharingPolicy) -> None:
+        self.policies.set(owner_id, policy)
+
+    # -- updates ----------------------------------------------------------------
+    def refresh(self, metrics: Optional[MetricsCollector] = None) -> UpdateRoundReport:
+        """One summary epoch: bottom-up aggregation + overlay replication."""
+        now = self.sim.now
+        delta = self.config.delta_updates
+        agg = aggregate_round(
+            self.hierarchy,
+            self.config.summary,
+            now,
+            metrics or self.metrics,
+            delta=delta,
+        )
+        rep = self.overlay.replicate_round(
+            now, metrics or self.metrics, delta=delta
+        )
+        self.last_update_report = UpdateRoundReport(aggregation=agg, replication=rep)
+        return self.last_update_report
+
+    def update_bytes_per_epoch(self) -> int:
+        """Bytes one summary epoch costs (measured, not modelled)."""
+        report = self.refresh(metrics=MetricsCollector())
+        return report.total_bytes
+
+    def update_overhead(self, window_seconds: float) -> int:
+        """Total update bytes over *window_seconds* of operation.
+
+        Summaries refresh every ``summary_interval`` (t_s); one epoch's
+        cost is measured and multiplied by the number of epochs.
+        """
+        epochs = max(1, int(round(window_seconds / self.config.summary_interval)))
+        return self.update_bytes_per_epoch() * epochs
+
+    # -- queries ----------------------------------------------------------------
+    def execute_query(
+        self,
+        query: Query,
+        *,
+        start_server: Optional[int] = None,
+        client_node: Optional[int] = None,
+        collect_records: bool = False,
+        use_overlay: bool = True,
+        scope: Optional[int] = None,
+        first_k: Optional[int] = None,
+        trace: bool = False,
+    ) -> QueryOutcome:
+        """Run one query to completion and return its outcome.
+
+        With the replication overlay (default) the search starts at the
+        client's own node; without it (``use_overlay=False``, the basic
+        hierarchy of Section III-A) every query must start at the root.
+
+        *scope* restricts the search to the subtree of the given server
+        (Section III-C's scope control: a client widens its search one
+        ancestor at a time instead of always searching the federation).
+        A scoped query enters the scope server in descent mode, so only
+        its branch is searched.
+
+        *first_k* stops fanning out once that many matching records are
+        in hand — a best-effort "find me k matches" mode that trades
+        completeness for fewer contacted servers.
+        """
+        if client_node is None:
+            client_node = int(self._rng.integers(0, len(self.hierarchy)))
+        if scope is not None:
+            start_server = scope
+        elif start_server is None:
+            start_server = (
+                client_node if use_overlay else self.hierarchy.root.server_id
+            )
+        execution = QueryExecution(
+            self.sim,
+            self.network,
+            self.hierarchy,
+            self.config.summary,
+            self.policies,
+            query,
+            client_node,
+            start_server,
+            collect_records=collect_records,
+            first_k=first_k,
+            trace=trace,
+        )
+        if scope is not None or not use_overlay:
+            # Descent-only entry: no overlay fan-out beyond the subtree.
+            execution._contact(start_server, mode="descent")
+            execution.outcome.started_at = self.sim.now
+            while not execution._done and self.sim.step():
+                pass
+            return execution.outcome
+        return execution.run()
+
+    def widening_search(
+        self,
+        query: Query,
+        client_node: int,
+        *,
+        min_matches: int = 1,
+        collect_records: bool = False,
+    ) -> List[QueryOutcome]:
+        """Scope-controlled search: own branch first, then each ancestor.
+
+        Returns the outcomes of every scope tried, stopping at the first
+        that yields at least *min_matches* results (the last outcome is
+        the successful one, or the widest scope if none sufficed).
+        """
+        from ..overlay.routing import scope_candidates
+
+        start = self.hierarchy.get(client_node)
+        scopes = [client_node] + scope_candidates(start)
+        outcomes: List[QueryOutcome] = []
+        for scope in scopes:
+            outcome = self.execute_query(
+                query,
+                client_node=client_node,
+                scope=scope,
+                collect_records=collect_records,
+            )
+            outcomes.append(outcome)
+            if outcome.total_matches >= min_matches:
+                break
+        return outcomes
+
+    def execute_queries(
+        self,
+        queries: Sequence[Query],
+        *,
+        client_nodes: Optional[Sequence[int]] = None,
+        collect_records: bool = False,
+        use_overlay: bool = True,
+    ) -> List[QueryOutcome]:
+        outcomes = []
+        for i, q in enumerate(queries):
+            client = client_nodes[i] if client_nodes is not None else None
+            outcomes.append(
+                self.execute_query(
+                    q,
+                    client_node=client,
+                    collect_records=collect_records,
+                    use_overlay=use_overlay,
+                )
+            )
+        return outcomes
+
+    # -- maintenance ----------------------------------------------------------------
+    def enable_maintenance(
+        self, config: MaintenanceConfig = MaintenanceConfig()
+    ) -> MaintenanceProtocol:
+        if self.maintenance is None:
+            self.maintenance = MaintenanceProtocol(
+                self.sim, self.network, self.hierarchy, config
+            )
+        return self.maintenance
+
+    # -- storage accounting ----------------------------------------------------------
+    def storage_bytes_by_server(self) -> Dict[int, int]:
+        """Summary bytes held per server (Table I's ROADS column).
+
+        Excludes raw records owners keep on servers they control — those
+        never left the owner; Table I compares *exported/replicated* state.
+        """
+        out: Dict[int, int] = {}
+        for server in self.hierarchy:
+            total = 0
+            for o in server.owners:
+                if not o.controls_server and o.summary is not None:
+                    total += o.summary.encoded_size()
+            for s in server.child_summaries.values():
+                total += s.encoded_size()
+            for s in server.replicated_summaries.values():
+                total += s.encoded_size()
+            for s in server.replicated_local_summaries.values():
+                total += s.encoded_size()
+            out[server.server_id] = total
+        return out
+
+    @property
+    def levels(self) -> int:
+        return self.hierarchy.levels

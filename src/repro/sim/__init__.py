@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate: scheduler, metrics, RNG streams."""
+
+from .engine import Event, PeriodicTask, SimulationError, Simulator
+from .metrics import (
+    CATEGORIES,
+    MAINTENANCE,
+    QUERY,
+    RESULT,
+    UPDATE,
+    MetricsCollector,
+)
+from .rng import SeedSequenceFactory
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "PeriodicTask",
+    "SimulationError",
+    "MetricsCollector",
+    "SeedSequenceFactory",
+    "UPDATE",
+    "QUERY",
+    "MAINTENANCE",
+    "RESULT",
+    "CATEGORIES",
+]

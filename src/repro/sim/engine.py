@@ -1,0 +1,164 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event scheduler: events are ``(time, seq, fn)``
+triples on a binary heap; ties in time break by insertion order so runs
+are reproducible. Nodes in the network layers are reactive actors whose
+handlers schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (negative delays, running backwards)."""
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Heap-based discrete-event scheduler with a virtual clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* at ``now + delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self._now + delay, next(self._seq), fn)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run *fn* at absolute virtual *time* (must be >= now)."""
+        return self.schedule(time - self._now, fn)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> "PeriodicTask":
+        """Run *fn* every *interval* seconds until the task is stopped."""
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        task = PeriodicTask(self, interval, fn, jitter=jitter, rng=rng)
+        task.start(first_delay if first_delay is not None else interval)
+        return task
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, *until*, or *max_events*.
+
+        Returns the number of events processed by this call. The clock is
+        advanced to *until* when given, even if the queue drains earlier.
+        """
+        processed = 0
+        while self._queue:
+            ev = self._queue[0]
+            if until is not None and ev.time > until:
+                break
+            heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            if max_events is not None and processed >= max_events:
+                heapq.heappush(self._queue, ev)
+                break
+            self._now = ev.time
+            ev.fn()
+            processed += 1
+            self._processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn()
+            self._processed += 1
+            return True
+        return False
+
+
+class PeriodicTask:
+    """Repeating event created by :meth:`Simulator.schedule_periodic`."""
+
+    def __init__(self, sim: Simulator, interval: float, fn, *, jitter: float = 0.0, rng=None):
+        self._sim = sim
+        self._interval = interval
+        self._fn = fn
+        self._jitter = jitter
+        self._rng = rng
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self.fired = 0
+
+    def start(self, first_delay: float) -> None:
+        self._event = self._sim.schedule(first_delay, self._tick)
+
+    def _next_delay(self) -> float:
+        if self._jitter and self._rng is not None:
+            return self._interval * (1.0 + self._jitter * (2.0 * self._rng.random() - 1.0))
+        return self._interval
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.fired += 1
+        self._fn()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._next_delay(), self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

@@ -1,0 +1,100 @@
+"""Traffic and latency accounting.
+
+The evaluation's three metrics (Section V) are byte counts per message
+category and query latencies:
+
+* ``update`` — resource record / summary export and aggregation traffic,
+* ``query`` — query forwarding traffic,
+* ``maintenance`` — heartbeats and overlay summary replication traffic,
+* ``result`` — record return traffic (prototype benchmark only).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+UPDATE = "update"
+QUERY = "query"
+MAINTENANCE = "maintenance"
+RESULT = "result"
+
+CATEGORIES = (UPDATE, QUERY, MAINTENANCE, RESULT)
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-category message/byte counts and latency samples."""
+
+    bytes_by_category: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    messages_by_category: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    latency_samples: List[float] = field(default_factory=list)
+
+    def record_message(self, category: str, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise ValueError(f"negative message size: {size_bytes}")
+        self.bytes_by_category[category] += size_bytes
+        self.messages_by_category[category] += 1
+
+    def record_latency(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative latency: {seconds}")
+        self.latency_samples.append(seconds)
+
+    # -- read-out -----------------------------------------------------------------
+    def bytes(self, category: str) -> int:
+        return self.bytes_by_category.get(category, 0)
+
+    def messages(self, category: str) -> int:
+        return self.messages_by_category.get(category, 0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_category.values())
+
+    def mean_latency(self) -> float:
+        if not self.latency_samples:
+            return 0.0
+        return float(np.mean(self.latency_samples))
+
+    def percentile_latency(self, pct: float) -> float:
+        if not self.latency_samples:
+            return 0.0
+        return float(np.percentile(self.latency_samples, pct))
+
+    def reset(self, categories=None) -> None:
+        """Zero all counters, or only the given *categories*."""
+        if categories is None:
+            self.bytes_by_category.clear()
+            self.messages_by_category.clear()
+            self.latency_samples.clear()
+        else:
+            for c in categories:
+                self.bytes_by_category.pop(c, None)
+                self.messages_by_category.pop(c, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Immutable copy of the byte counters for later diffing."""
+        return dict(self.bytes_by_category)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "bytes": dict(self.bytes_by_category),
+            "messages": dict(self.messages_by_category),
+            "latency": {
+                "count": len(self.latency_samples),
+                "mean": self.mean_latency(),
+                "p90": self.percentile_latency(90),
+            },
+        }

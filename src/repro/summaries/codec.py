@@ -1,0 +1,229 @@
+"""Binary wire codecs for summaries.
+
+The simulator accounts summary sizes via ``encoded_size()``; this module
+makes those numbers honest by actually encoding summaries to bytes and
+decoding them back. Each attribute summary serializes to a tagged frame::
+
+    [1B kind][2B name length][name utf-8][payload...]
+
+Histogram payloads honour the configured encoding (dense counters,
+sparse (index, count) pairs, or an occupancy bitmap — the bitmap
+round-trips occupancy, i.e. counts collapse to 0/1, which preserves
+query-evaluation semantics exactly). A :class:`ResourceSummary` frame
+concatenates its attribute frames behind a small header.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..records.schema import Schema
+from .base import AttributeSummary
+from .bloom import BloomFilterSummary
+from .config import SummaryConfig
+from .histogram import HistogramSummary
+from .summary import ResourceSummary
+from .valueset import ValueSetSummary
+
+_KIND_HISTOGRAM = 1
+_KIND_VALUESET = 2
+_KIND_BLOOM = 3
+
+_ENCODINGS = ("dense", "sparse", "bitmap")
+
+
+class CodecError(ValueError):
+    """Raised on malformed frames."""
+
+
+def _pack_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"attribute name too long: {len(raw)} bytes")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def _unpack_name(buf: bytes, off: int) -> Tuple[str, int]:
+    (n,) = struct.unpack_from("<H", buf, off)
+    off += 2
+    name = buf[off : off + n].decode("utf-8")
+    return name, off + n
+
+
+# -- histogram ----------------------------------------------------------------
+
+def encode_histogram(h: HistogramSummary) -> bytes:
+    head = struct.pack(
+        "<BB", _KIND_HISTOGRAM, _ENCODINGS.index(h.encoding)
+    ) + _pack_name(h.attribute) + struct.pack("<Idd", h.buckets, h.lo, h.hi)
+    if h.encoding == "dense":
+        counts = h.counts
+        if (counts > 0xFFFFFFFF).any():
+            raise CodecError("dense counter overflow (>2^32)")
+        payload = counts.astype("<u4").tobytes()
+    elif h.encoding == "sparse":
+        idx = np.flatnonzero(h.counts)
+        counts = h.counts[idx]
+        if (counts > 0xFFFFFFFF).any() or h.buckets > 0xFFFFFFFF:
+            raise CodecError("sparse entry overflow")
+        payload = struct.pack("<I", idx.size)
+        payload += idx.astype("<u4").tobytes() + counts.astype("<u4").tobytes()
+    else:  # bitmap
+        payload = np.packbits(h.counts > 0).tobytes()
+    return head + payload
+
+
+def decode_histogram(buf: bytes, off: int = 0) -> Tuple[HistogramSummary, int]:
+    kind, enc_idx = struct.unpack_from("<BB", buf, off)
+    if kind != _KIND_HISTOGRAM:
+        raise CodecError(f"expected histogram frame, got kind {kind}")
+    if enc_idx >= len(_ENCODINGS):
+        raise CodecError(f"unknown histogram encoding index {enc_idx}")
+    off += 2
+    name, off = _unpack_name(buf, off)
+    buckets, lo, hi = struct.unpack_from("<Idd", buf, off)
+    off += struct.calcsize("<Idd")
+    encoding = _ENCODINGS[enc_idx]
+    if encoding == "dense":
+        counts = np.frombuffer(buf, dtype="<u4", count=buckets, offset=off)
+        off += buckets * 4
+        counts = counts.astype(np.int64)
+    elif encoding == "sparse":
+        (n_entries,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        idx = np.frombuffer(buf, dtype="<u4", count=n_entries, offset=off)
+        off += n_entries * 4
+        vals = np.frombuffer(buf, dtype="<u4", count=n_entries, offset=off)
+        off += n_entries * 4
+        counts = np.zeros(buckets, dtype=np.int64)
+        counts[idx.astype(np.int64)] = vals.astype(np.int64)
+    else:  # bitmap: occupancy only
+        nbytes = (buckets + 7) // 8
+        bits = np.unpackbits(
+            np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=off)
+        )[:buckets]
+        off += nbytes
+        counts = bits.astype(np.int64)
+    return (
+        HistogramSummary(name, buckets, (lo, hi), encoding=encoding, counts=counts),
+        off,
+    )
+
+
+# -- value set ----------------------------------------------------------------
+
+def encode_valueset(s: ValueSetSummary) -> bytes:
+    head = struct.pack("<BB", _KIND_VALUESET, 0) + _pack_name(s.attribute)
+    values = sorted(s.values)
+    payload = struct.pack("<I", len(values))
+    for v in values:
+        raw = v.encode("utf-8")
+        payload += struct.pack("<H", len(raw)) + raw
+    return head + payload
+
+
+def decode_valueset(buf: bytes, off: int = 0) -> Tuple[ValueSetSummary, int]:
+    kind, _ = struct.unpack_from("<BB", buf, off)
+    if kind != _KIND_VALUESET:
+        raise CodecError(f"expected value-set frame, got kind {kind}")
+    off += 2
+    name, off = _unpack_name(buf, off)
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    values = []
+    for _ in range(n):
+        v, off = _unpack_name(buf, off)
+        values.append(v)
+    return ValueSetSummary(name, values), off
+
+
+# -- bloom filter ---------------------------------------------------------------
+
+def encode_bloom(f: BloomFilterSummary) -> bytes:
+    head = struct.pack("<BB", _KIND_BLOOM, 0) + _pack_name(f.attribute)
+    head += struct.pack("<IH", f.bits, f.num_hashes)
+    payload = np.packbits(f._array).tobytes()
+    return head + payload
+
+
+def decode_bloom(buf: bytes, off: int = 0) -> Tuple[BloomFilterSummary, int]:
+    kind, _ = struct.unpack_from("<BB", buf, off)
+    if kind != _KIND_BLOOM:
+        raise CodecError(f"expected bloom frame, got kind {kind}")
+    off += 2
+    name, off = _unpack_name(buf, off)
+    bits, num_hashes = struct.unpack_from("<IH", buf, off)
+    off += struct.calcsize("<IH")
+    nbytes = (bits + 7) // 8
+    arr = np.unpackbits(
+        np.frombuffer(buf, dtype=np.uint8, count=nbytes, offset=off)
+    )[:bits].astype(bool)
+    off += nbytes
+    out = BloomFilterSummary(name, bits, num_hashes)
+    out._array = arr
+    return out, off
+
+
+# -- dispatch ----------------------------------------------------------------
+
+def encode_attribute(summary: AttributeSummary) -> bytes:
+    if isinstance(summary, HistogramSummary):
+        return encode_histogram(summary)
+    if isinstance(summary, ValueSetSummary):
+        return encode_valueset(summary)
+    if isinstance(summary, BloomFilterSummary):
+        return encode_bloom(summary)
+    raise CodecError(
+        f"no codec for {type(summary).__name__} "
+        "(multi-resolution pyramids ship one level at a time)"
+    )
+
+
+def decode_attribute(buf: bytes, off: int = 0) -> Tuple[AttributeSummary, int]:
+    if off >= len(buf):
+        raise CodecError("truncated frame")
+    kind = buf[off]
+    if kind == _KIND_HISTOGRAM:
+        return decode_histogram(buf, off)
+    if kind == _KIND_VALUESET:
+        return decode_valueset(buf, off)
+    if kind == _KIND_BLOOM:
+        return decode_bloom(buf, off)
+    raise CodecError(f"unknown frame kind {kind}")
+
+
+_MAGIC = b"RSUM"
+
+
+def encode_summary(summary: ResourceSummary) -> bytes:
+    """Serialize a whole :class:`ResourceSummary` to bytes."""
+    frames = b"".join(
+        encode_attribute(summary.attributes[spec.name])
+        for spec in summary.schema
+    )
+    head = _MAGIC + struct.pack(
+        "<dI", summary.created_at, len(summary.attributes)
+    )
+    return head + frames
+
+
+def decode_summary(
+    buf: bytes, schema: Schema, config: SummaryConfig
+) -> ResourceSummary:
+    """Reconstruct a :class:`ResourceSummary` produced by
+    :func:`encode_summary` against the shared *schema*."""
+    if buf[:4] != _MAGIC:
+        raise CodecError("bad magic; not a summary frame")
+    created_at, n_attrs = struct.unpack_from("<dI", buf, 4)
+    off = 4 + struct.calcsize("<dI")
+    attrs: Dict[str, AttributeSummary] = {}
+    for _ in range(n_attrs):
+        summary, off = decode_attribute(buf, off)
+        attrs[summary.attribute] = summary
+    missing = [s.name for s in schema if s.name not in attrs]
+    if missing:
+        raise CodecError(f"frame missing attributes {missing}")
+    return ResourceSummary(schema, config, attrs, created_at=created_at)

@@ -1,0 +1,217 @@
+"""Histogram summaries for numeric attributes.
+
+A histogram divides the attribute's value domain into ``m`` equal-width
+buckets, each counting how many summarized values fall inside. Two
+histograms over the same domain merge by adding their counters bucket-wise,
+which is exactly how branch summaries are aggregated bottom-up in the
+hierarchy. A range predicate ``lo <= x <= hi`` may match iff any bucket
+overlapping ``[lo, hi]`` is non-empty.
+
+Wire encoding can be *dense* (all ``m`` counters — the paper's model,
+where a summary has constant size ``m·r`` regardless of how many records
+it covers), *sparse* (only the non-empty buckets as ``(index, count)``
+pairs), or *bitmap* (one occupancy bit per bucket — sufficient for query
+evaluation, which only tests bucket non-emptiness). The encoding choice
+is an ablation axis (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..query.predicate import EqualsPredicate, Predicate, RangePredicate
+from .base import AttributeSummary, SummaryMergeError
+
+#: bytes per counter in the dense encoding
+_DENSE_COUNTER_BYTES = 4
+#: bytes per (index, count) pair in the sparse encoding
+_SPARSE_ENTRY_BYTES = 8
+#: fixed header: attribute id, bucket count, domain bounds
+_HEADER_BYTES = 16
+
+
+class HistogramSummary(AttributeSummary):
+    """Equal-width bucket histogram over a bounded numeric domain."""
+
+    __slots__ = ("attribute", "lo", "hi", "counts", "encoding")
+
+    def __init__(
+        self,
+        attribute: str,
+        buckets: int,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        *,
+        encoding: str = "dense",
+        counts: Optional[np.ndarray] = None,
+    ):
+        if buckets <= 0:
+            raise ValueError(f"histogram needs at least one bucket, got {buckets}")
+        lo, hi = bounds
+        if not (lo < hi):
+            raise ValueError(f"invalid histogram bounds {bounds}")
+        if encoding not in ("dense", "sparse", "bitmap"):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.attribute = attribute
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.encoding = encoding
+        if counts is None:
+            self.counts = np.zeros(buckets, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (buckets,):
+                raise ValueError(
+                    f"counts shape {counts.shape} does not match bucket count {buckets}"
+                )
+            if (counts < 0).any():
+                raise ValueError("histogram counts must be non-negative")
+            self.counts = counts.copy()
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def from_values(
+        cls,
+        attribute: str,
+        values: Iterable[float],
+        buckets: int,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        *,
+        encoding: str = "dense",
+    ) -> "HistogramSummary":
+        """Summarize *values*; values are clipped into the domain."""
+        h = cls(attribute, buckets, bounds, encoding=encoding)
+        h.add_values(values)
+        return h
+
+    def add_values(self, values: Iterable[float]) -> None:
+        vals = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                          dtype=np.float64)
+        if vals.size == 0:
+            return
+        clipped = np.clip(vals, self.lo, self.hi)
+        idx = self._bucket_of(clipped)
+        np.add.at(self.counts, idx, 1)
+
+    def _bucket_of(self, values: np.ndarray) -> np.ndarray:
+        m = self.counts.shape[0]
+        span = self.hi - self.lo
+        idx = np.floor((values - self.lo) / span * m).astype(np.int64)
+        return np.clip(idx, 0, m - 1)
+
+    # -- protocol ----------------------------------------------------------------
+    @property
+    def buckets(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def total(self) -> int:
+        """Number of values summarized."""
+        return int(self.counts.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.counts.any()
+
+    def may_match(self, predicate: Predicate) -> bool:
+        if isinstance(predicate, EqualsPredicate):
+            raise TypeError(
+                f"histogram on {self.attribute!r} cannot evaluate equality on "
+                f"categorical attribute {predicate.attribute!r}"
+            )
+        assert isinstance(predicate, RangePredicate)
+        lo = max(predicate.lo, self.lo)
+        hi = min(predicate.hi, self.hi)
+        if lo > hi:
+            return False
+        m = self.buckets
+        span = self.hi - self.lo
+        first = int(np.clip(np.floor((lo - self.lo) / span * m), 0, m - 1))
+        last = int(np.clip(np.floor((hi - self.lo) / span * m), 0, m - 1))
+        return bool(self.counts[first : last + 1].any())
+
+    def merge(self, other: AttributeSummary) -> "HistogramSummary":
+        if not isinstance(other, HistogramSummary):
+            raise SummaryMergeError(
+                f"cannot merge HistogramSummary with {type(other).__name__}"
+            )
+        if (
+            other.buckets != self.buckets
+            or other.lo != self.lo
+            or other.hi != self.hi
+            or other.attribute != self.attribute
+        ):
+            raise SummaryMergeError(
+                f"incompatible histograms for {self.attribute!r}: "
+                f"({self.buckets}, [{self.lo}, {self.hi}]) vs "
+                f"({other.buckets}, [{other.lo}, {other.hi}]) on {other.attribute!r}"
+            )
+        return HistogramSummary(
+            self.attribute,
+            self.buckets,
+            (self.lo, self.hi),
+            encoding=self.encoding,
+            counts=self.counts + other.counts,
+        )
+
+    def copy(self) -> "HistogramSummary":
+        return HistogramSummary(
+            self.attribute,
+            self.buckets,
+            (self.lo, self.hi),
+            encoding=self.encoding,
+            counts=self.counts,
+        )
+
+    def encoded_size(self) -> int:
+        if self.encoding == "dense":
+            return _HEADER_BYTES + self.buckets * _DENSE_COUNTER_BYTES
+        if self.encoding == "bitmap":
+            return _HEADER_BYTES + (self.buckets + 7) // 8
+        nonzero = int(np.count_nonzero(self.counts))
+        return _HEADER_BYTES + nonzero * _SPARSE_ENTRY_BYTES
+
+    def fingerprint(self) -> bytes:
+        """Content hash used by delta propagation to skip unchanged sends."""
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.attribute.encode("utf-8"))
+        h.update(np.int64(self.buckets).tobytes())
+        h.update(np.float64((self.lo, self.hi)).tobytes())
+        h.update(np.ascontiguousarray(self.counts).tobytes())
+        return h.digest()
+
+    # -- introspection -------------------------------------------------------------
+    def count_in_range(self, lo: float, hi: float) -> int:
+        """Upper bound on how many summarized values lie in ``[lo, hi]``.
+
+        Bucket-granular: partial bucket overlap counts the whole bucket,
+        so this is an over-estimate — consistent with no-false-negatives.
+        """
+        lo = max(lo, self.lo)
+        hi = min(hi, self.hi)
+        if lo > hi:
+            return 0
+        m = self.buckets
+        span = self.hi - self.lo
+        first = int(np.clip(np.floor((lo - self.lo) / span * m), 0, m - 1))
+        last = int(np.clip(np.floor((hi - self.lo) / span * m), 0, m - 1))
+        return int(self.counts[first : last + 1].sum())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, HistogramSummary)
+            and self.attribute == other.attribute
+            and self.buckets == other.buckets
+            and self.lo == other.lo
+            and self.hi == other.hi
+            and bool(np.array_equal(self.counts, other.counts))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramSummary({self.attribute!r}, buckets={self.buckets}, "
+            f"total={self.total})"
+        )

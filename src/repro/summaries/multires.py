@@ -1,0 +1,170 @@
+"""Multi-resolution histogram summaries.
+
+The paper cites multi-resolution summarization [11] as an alternative
+compact structure. A :class:`MultiResolutionHistogram` keeps a pyramid of
+histograms whose bucket counts halve level by level; coarse levels cost
+fewer bytes on the wire while fine levels answer narrow ranges more
+precisely. A node under byte pressure can transmit a coarser level without
+violating the no-false-negative invariant (a coarser histogram only widens
+possible-match answers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..query.predicate import Predicate
+from .base import AttributeSummary, SummaryMergeError
+from .histogram import HistogramSummary
+
+
+def coarsen(histogram: HistogramSummary, factor: int = 2) -> HistogramSummary:
+    """Reduce a histogram's resolution by merging adjacent buckets.
+
+    The bucket count must be divisible by *factor*. Counts are summed, so
+    the result summarizes exactly the same values at lower resolution.
+    """
+    if factor <= 1:
+        raise ValueError("factor must be >= 2")
+    m = histogram.buckets
+    if m % factor != 0:
+        raise ValueError(f"bucket count {m} not divisible by factor {factor}")
+    counts = histogram.counts.reshape(m // factor, factor).sum(axis=1)
+    return HistogramSummary(
+        histogram.attribute,
+        m // factor,
+        (histogram.lo, histogram.hi),
+        encoding=histogram.encoding,
+        counts=counts,
+    )
+
+
+class MultiResolutionHistogram(AttributeSummary):
+    """A pyramid of progressively coarser histograms over one attribute.
+
+    Level 0 is the finest. ``levels`` levels are kept, each half the
+    resolution of the previous, so the finest bucket count must be
+    divisible by ``2**(levels-1)``.
+    """
+
+    __slots__ = ("attribute", "_pyramid")
+
+    def __init__(
+        self,
+        attribute: str,
+        buckets: int,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        levels: int = 3,
+        *,
+        encoding: str = "dense",
+    ):
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        if buckets % (2 ** (levels - 1)) != 0:
+            raise ValueError(
+                f"finest bucket count {buckets} must be divisible by 2^{levels - 1}"
+            )
+        self.attribute = attribute
+        base = HistogramSummary(attribute, buckets, bounds, encoding=encoding)
+        self._pyramid: List[HistogramSummary] = [base]
+        for _ in range(levels - 1):
+            self._pyramid.append(coarsen(self._pyramid[-1]))
+
+    @classmethod
+    def from_values(
+        cls,
+        attribute: str,
+        values: Iterable[float],
+        buckets: int,
+        bounds: Tuple[float, float] = (0.0, 1.0),
+        levels: int = 3,
+        *,
+        encoding: str = "dense",
+    ) -> "MultiResolutionHistogram":
+        mr = cls(attribute, buckets, bounds, levels, encoding=encoding)
+        mr.add_values(values)
+        return mr
+
+    def add_values(self, values: Iterable[float]) -> None:
+        vals = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.float64,
+        )
+        for level in self._pyramid:
+            level.add_values(vals)
+
+    @property
+    def levels(self) -> int:
+        return len(self._pyramid)
+
+    def level(self, i: int) -> HistogramSummary:
+        """Histogram at pyramid level *i* (0 = finest)."""
+        return self._pyramid[i]
+
+    @property
+    def is_empty(self) -> bool:
+        return self._pyramid[0].is_empty
+
+    def may_match(self, predicate: Predicate) -> bool:
+        # The finest level is the most precise; use it for evaluation.
+        return self._pyramid[0].may_match(predicate)
+
+    def merge(self, other: AttributeSummary) -> "MultiResolutionHistogram":
+        if not isinstance(other, MultiResolutionHistogram):
+            raise SummaryMergeError(
+                f"cannot merge MultiResolutionHistogram with {type(other).__name__}"
+            )
+        if other.levels != self.levels or other.attribute != self.attribute:
+            raise SummaryMergeError(
+                "incompatible multi-resolution histograms: "
+                f"{self.attribute!r}/{self.levels} levels vs "
+                f"{other.attribute!r}/{other.levels} levels"
+            )
+        base = self._pyramid[0]
+        merged = MultiResolutionHistogram(
+            self.attribute,
+            base.buckets,
+            (base.lo, base.hi),
+            self.levels,
+            encoding=base.encoding,
+        )
+        merged._pyramid = [
+            a.merge(b) for a, b in zip(self._pyramid, other._pyramid)
+        ]
+        return merged
+
+    def copy(self) -> "MultiResolutionHistogram":
+        base = self._pyramid[0]
+        out = MultiResolutionHistogram(
+            self.attribute, base.buckets, (base.lo, base.hi), self.levels,
+            encoding=base.encoding,
+        )
+        out._pyramid = [h.copy() for h in self._pyramid]
+        return out
+
+    def fingerprint(self) -> bytes:
+        """Content hash of the finest level (the others derive from it)."""
+        return self._pyramid[0].fingerprint()
+
+    def encoded_size(self) -> int:
+        """Wire size when shipping the full pyramid."""
+        return sum(h.encoded_size() for h in self._pyramid)
+
+    def size_at_level(self, i: int) -> int:
+        """Wire size when shipping only pyramid level *i*."""
+        return self._pyramid[i].encoded_size()
+
+    def best_level_within(self, budget_bytes: int) -> int:
+        """Finest level whose encoding fits *budget_bytes* (coarsest if none)."""
+        for i, h in enumerate(self._pyramid):
+            if h.encoded_size() <= budget_bytes:
+                return i
+        return self.levels - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiResolutionHistogram({self.attribute!r}, "
+            f"finest={self._pyramid[0].buckets}, levels={self.levels})"
+        )

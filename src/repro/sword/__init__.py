@@ -1,0 +1,14 @@
+"""SWORD: the DHT-based resource discovery baseline."""
+
+from .hashing import LocalityHash
+from .ring import ChordRouter, popcount
+from .system import SwordConfig, SwordQueryOutcome, SwordSystem
+
+__all__ = [
+    "LocalityHash",
+    "ChordRouter",
+    "popcount",
+    "SwordConfig",
+    "SwordSystem",
+    "SwordQueryOutcome",
+]

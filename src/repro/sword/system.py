@@ -1,0 +1,269 @@
+"""The SWORD baseline system.
+
+A DHT-based resource discovery design (Section IV): every resource record
+is registered in one ring per searchable attribute (``r`` replicas per
+record, each routed over O(log n) hops). A multi-dimensional range query
+is resolved in a single ring — routed to the start of the segment
+responsible for the queried range, then walked sequentially through the
+segment's servers, each of which filters its locally stored records
+against *all* query dimensions.
+
+Record registration traffic is computed exactly (vectorized hop counts ×
+record size) rather than event-by-event: a single 320-node epoch re-routes
+2.5M record replicas, and the byte total is what the experiments need.
+Query execution walks the actual finger paths and segment chains over the
+same delay space the ROADS simulation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.coordinates import DelaySpace
+from ..query.predicate import RangePredicate
+from ..query.query import Query
+from ..records.store import RecordStore
+from ..sim.rng import SeedSequenceFactory
+from .hashing import LocalityHash
+from .ring import ChordRouter, popcount
+
+#: per-record registration header (record id, owner, ring)
+_RECORD_HEADER_BYTES = 16
+#: per-hop processing delay, matching the ROADS network default
+_PROCESSING_DELAY = 0.0005
+
+
+@dataclass(frozen=True)
+class SwordConfig:
+    """Parameters of a simulated SWORD deployment."""
+
+    num_nodes: int = 320
+    records_per_node: int = 500
+    record_interval: float = 6.0  # the paper's t_r
+    ring_strategy: str = "first"  # which query attribute picks the ring
+    #: per-record local search time at a segment server. The query walks
+    #: the segment *sequentially*, and each server scans its stored
+    #: records (K·N·r/n of them) against all dimensions before forwarding
+    #: — this serial scan time is part of the paper's SWORD latency.
+    search_seconds_per_record: float = 5e-6
+    delay_scale_ms: float = 100.0
+    delay_base_ms: float = 10.0
+    delay_jitter_ms: float = 5.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.record_interval <= 0:
+            raise ValueError("record_interval must be positive")
+        if self.ring_strategy not in ("first", "narrowest"):
+            raise ValueError(f"unknown ring strategy {self.ring_strategy!r}")
+        if self.search_seconds_per_record < 0:
+            raise ValueError("search_seconds_per_record must be >= 0")
+
+
+@dataclass
+class SwordQueryOutcome:
+    """Everything measured about one SWORD query."""
+
+    query: Query
+    client_node: int
+    ring_attribute: str
+    #: finger-path servers then segment servers, in visit order
+    route: List[int] = field(default_factory=list)
+    segment: List[int] = field(default_factory=list)
+    #: per visited segment server: (server, arrival time, local match count)
+    segment_hits: List[Tuple[int, float, int]] = field(default_factory=list)
+    latency: float = 0.0
+    query_bytes: int = 0
+    query_messages: int = 0
+    matched_rows: Optional[np.ndarray] = None
+
+    @property
+    def servers_contacted(self) -> int:
+        return len(set(self.route) | set(self.segment))
+
+    @property
+    def total_matches(self) -> int:
+        return sum(c for _, _, c in self.segment_hits)
+
+
+class SwordSystem:
+    """A simulated SWORD federation over the same workload as ROADS."""
+
+    def __init__(
+        self,
+        config: SwordConfig,
+        stores: Sequence[RecordStore],
+    ):
+        n = config.num_nodes
+        if len(stores) != n:
+            raise ValueError(
+                f"config.num_nodes={n} but {len(stores)} stores supplied"
+            )
+        self.config = config
+        self.schema = stores[0].schema
+        self.attributes = [a.name for a in self.schema.numeric_attributes]
+        r = len(self.attributes)
+        seeds = SeedSequenceFactory(config.seed)
+        self.delay_space = DelaySpace(
+            n,
+            seeds.generator("delay-space"),
+            scale_ms=config.delay_scale_ms,
+            base_ms=config.delay_base_ms,
+            jitter_ms=config.delay_jitter_ms,
+        )
+        self.hash = LocalityHash(n, r)
+        self.router = ChordRouter(n)
+
+        # Global record matrix: one row per record across the federation.
+        mats = [np.asarray(s.numeric_matrix, dtype=np.float64) for s in stores]
+        self.matrix = np.concatenate(mats, axis=0)
+        self.owner_of_row = np.concatenate(
+            [np.full(len(s), i, dtype=np.int64) for i, s in enumerate(stores)]
+        )
+        self.record_size_bytes = self.schema.record_size_bytes + _RECORD_HEADER_BYTES
+
+        # Registration: ring j's responsible server per row.
+        self._dest: Dict[int, np.ndarray] = {}
+        self._rows_by_server: Dict[int, np.ndarray] = {}
+        for j in range(r):
+            col = self.matrix[:, self._column(j)]
+            self._dest[j] = self.hash.responsible(j, col)
+        for server in range(n):
+            j = self.hash.ring_of_server(server)
+            self._rows_by_server[server] = np.flatnonzero(
+                self._dest[j] == server
+            )
+
+    def _column(self, ring: int) -> int:
+        """Matrix column index for the ring's attribute."""
+        return self.schema.numeric_position(self.attributes[ring])
+
+    def _ring_of_attribute(self, name: str) -> int:
+        try:
+            return self.attributes.index(name)
+        except ValueError:
+            raise KeyError(f"no ring for attribute {name!r}") from None
+
+    # -- storage / registration overhead ------------------------------------------
+    def rows_stored_at(self, server: int) -> np.ndarray:
+        """Row indices of records stored at *server* (its ring only)."""
+        return self._rows_by_server[server]
+
+    def storage_bytes_by_server(self) -> Dict[int, int]:
+        return {
+            s: len(rows) * self.record_size_bytes
+            for s, rows in self._rows_by_server.items()
+        }
+
+    def registration_bytes_per_epoch(self) -> int:
+        """Bytes to (re-)register every record in every ring once.
+
+        Each replica travels its full O(log n) finger path, re-transmitted
+        at every hop — the SWORD update-overhead model of equation (2).
+        """
+        total_hops = 0
+        for j in range(len(self.attributes)):
+            dist = (self._dest[j] - self.owner_of_row) % self.config.num_nodes
+            total_hops += int(popcount(dist).sum())
+        return total_hops * self.record_size_bytes
+
+    def update_overhead(self, window_seconds: float) -> int:
+        """Total update bytes over *window_seconds* (records refresh every t_r)."""
+        epochs = max(1, int(round(window_seconds / self.config.record_interval)))
+        return self.registration_bytes_per_epoch() * epochs
+
+    # -- query execution ----------------------------------------------------------
+    def _choose_ring(self, query: Query) -> RangePredicate:
+        ranges = query.range_predicates()
+        if not ranges:
+            raise ValueError(
+                "SWORD resolves queries in an attribute ring; the query "
+                "needs at least one range predicate"
+            )
+        if self.config.ring_strategy == "narrowest":
+            return min(ranges, key=lambda p: p.length)
+        return ranges[0]
+
+    def _hop_latency(self, a: int, b: int) -> float:
+        return self.delay_space.latency(a, b) + _PROCESSING_DELAY
+
+    def execute_query(
+        self,
+        query: Query,
+        client_node: int,
+        *,
+        collect_rows: bool = False,
+    ) -> SwordQueryOutcome:
+        """Route and resolve one query; purely sequential, so latencies
+        accumulate along the single forwarding chain."""
+        pred = self._choose_ring(query)
+        ring = self._ring_of_attribute(pred.attribute)
+        segment = [int(s) for s in self.hash.segment(ring, pred.lo, pred.hi)]
+        outcome = SwordQueryOutcome(
+            query=query,
+            client_node=client_node,
+            ring_attribute=pred.attribute,
+            segment=segment,
+        )
+        # Finger-route from the client's node to the segment head.
+        t = 0.0
+        current = client_node
+        for nxt in self.router.path(client_node, segment[0]):
+            t += self._hop_latency(current, nxt)
+            outcome.query_bytes += query.size_bytes
+            outcome.query_messages += 1
+            outcome.route.append(nxt)
+            current = nxt
+        if current != segment[0]:  # client hosts the segment head itself
+            outcome.route.append(segment[0])
+        # Walk the segment sequentially; each server filters locally.
+        matched: List[np.ndarray] = []
+        for server in segment:
+            if server != current:
+                t += self._hop_latency(current, server)
+                outcome.query_bytes += query.size_bytes
+                outcome.query_messages += 1
+                current = server
+            rows = self._rows_by_server[server]
+            count, row_ids = self._local_matches(query, rows, collect_rows)
+            outcome.segment_hits.append((server, t, count))
+            if collect_rows and row_ids is not None:
+                matched.append(row_ids)
+            # Local scan blocks the sequential forwarding chain.
+            t += rows.size * self.config.search_seconds_per_record
+        # Latency is measured until the query *reaches* the last server;
+        # that server's own scan is not part of it.
+        outcome.latency = outcome.segment_hits[-1][1] if outcome.segment_hits else t
+        if collect_rows:
+            outcome.matched_rows = (
+                np.concatenate(matched) if matched else np.empty(0, dtype=np.int64)
+            )
+        return outcome
+
+    def _local_matches(
+        self, query: Query, rows: np.ndarray, collect: bool
+    ) -> Tuple[int, Optional[np.ndarray]]:
+        if rows.size == 0:
+            return 0, (np.empty(0, dtype=np.int64) if collect else None)
+        mask = np.ones(rows.size, dtype=bool)
+        for p in query.predicates:
+            if not isinstance(p, RangePredicate):
+                raise ValueError(
+                    "this SWORD model indexes numeric attributes only"
+                )
+            col = self.matrix[rows, self.schema.numeric_position(p.attribute)]
+            mask &= (col >= p.lo) & (col <= p.hi)
+        count = int(mask.sum())
+        return count, (rows[mask] if collect else None)
+
+    def execute_queries(
+        self, queries: Sequence[Query], client_nodes: Sequence[int]
+    ) -> List[SwordQueryOutcome]:
+        return [
+            self.execute_query(q, int(c)) for q, c in zip(queries, client_nodes)
+        ]

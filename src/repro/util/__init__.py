@@ -1,0 +1,13 @@
+"""Shared utilities."""
+
+from .validation import (
+    require_in_unit_interval,
+    require_permutation,
+    require_positive,
+)
+
+__all__ = [
+    "require_positive",
+    "require_in_unit_interval",
+    "require_permutation",
+]

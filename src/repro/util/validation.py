@@ -1,0 +1,20 @@
+"""Small shared validation helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def require_positive(name: str, value) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_in_unit_interval(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+def require_permutation(name: str, values: Sequence[int], n: int) -> None:
+    if sorted(values) != list(range(n)):
+        raise ValueError(f"{name} must be a permutation of 0..{n - 1}")

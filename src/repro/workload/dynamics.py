@@ -1,0 +1,112 @@
+"""Dynamic resource records.
+
+Section II: resources are dynamic — capacities, loads, and rates change
+continuously, which is why ROADS keeps summaries as TTL'd soft state and
+why the analysis distinguishes the record update period ``t_r`` from the
+summary period ``t_s``. This module drives that dynamism: every ``t_r``
+a fraction of each owner's records takes a bounded random-walk step on
+selected numeric attributes.
+
+Steps are small relative to a histogram bucket by default, so most
+epochs leave summaries unchanged — exactly the regime in which delta
+propagation (``RoadsConfig.delta_updates``) pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..records.store import RecordStore
+from ..sim.engine import PeriodicTask, Simulator
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Random-walk parameters for dynamic records.
+
+    ``change_fraction`` of each store's records move per epoch; each
+    moving record's selected attributes step by N(0, ``step_sigma``),
+    clipped to the attribute bounds.
+    """
+
+    record_interval: float = 6.0  # the paper's t_r
+    change_fraction: float = 0.2
+    step_sigma: float = 0.01
+    attributes: Optional[Sequence[str]] = None  # default: all numeric
+
+    def __post_init__(self) -> None:
+        if self.record_interval <= 0:
+            raise ValueError("record_interval must be positive")
+        if not (0.0 < self.change_fraction <= 1.0):
+            raise ValueError("change_fraction must be in (0, 1]")
+        if self.step_sigma <= 0:
+            raise ValueError("step_sigma must be positive")
+
+
+class RecordDynamics:
+    """Periodic random-walk mutation of a federation's record stores."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stores: Sequence[RecordStore],
+        rng: np.random.Generator,
+        config: DynamicsConfig = DynamicsConfig(),
+    ):
+        self.sim = sim
+        self.stores = list(stores)
+        self.rng = rng
+        self.config = config
+        self.epochs = 0
+        self.records_changed = 0
+        self._task: PeriodicTask = sim.schedule_periodic(
+            config.record_interval, self.step
+        )
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def pause(self) -> None:
+        """Temporarily freeze the drift (e.g. while verifying results)."""
+        self._task.stop()
+
+    def resume(self) -> None:
+        if self._task.stopped:
+            self._task = self.sim.schedule_periodic(
+                self.config.record_interval, self.step
+            )
+
+    # -- mutation ----------------------------------------------------------------
+    def step(self) -> int:
+        """One t_r epoch: perturb records in every store; returns the
+        number of records changed."""
+        changed = 0
+        for store in self.stores:
+            changed += self._perturb(store)
+        self.epochs += 1
+        self.records_changed += changed
+        return changed
+
+    def _perturb(self, store: RecordStore) -> int:
+        n = len(store)
+        if n == 0:
+            return 0
+        schema = store.schema
+        names = (
+            list(self.config.attributes)
+            if self.config.attributes is not None
+            else [a.name for a in schema.numeric_attributes]
+        )
+        k = max(1, int(round(n * self.config.change_fraction)))
+        rows = self.rng.choice(n, size=k, replace=False)
+        matrix = store.numeric_matrix
+        for name in names:
+            spec = schema[name]
+            col = schema.numeric_position(name)
+            lo, hi = spec.bounds
+            steps = self.rng.normal(0.0, self.config.step_sigma * (hi - lo), k)
+            matrix[rows, col] = np.clip(matrix[rows, col] + steps, lo, hi)
+        return k

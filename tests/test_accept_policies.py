@@ -1,0 +1,137 @@
+"""Tests for child-acceptance policies (repro.hierarchy.accept)."""
+
+import pytest
+
+from repro.hierarchy import Hierarchy, JoinError, Server, build_hierarchy
+from repro.hierarchy.accept import (
+    AcceptAll,
+    AcceptancePolicy,
+    CompositePolicy,
+    DomainAffinityPolicy,
+    LoadCapPolicy,
+)
+
+
+def make_server(sid, policy=None, k=3):
+    s = Server(sid, max_children=k)
+    s.accept_policy = policy
+    return s
+
+
+class TestHook:
+    def test_default_accepts(self):
+        s = make_server(0)
+        assert s.willing_to_accept(1)
+
+    def test_accept_all_equivalent_to_default(self):
+        s = make_server(0, AcceptAll())
+        assert s.willing_to_accept(1)
+
+    def test_policy_consulted_after_capacity(self):
+        class Never(AcceptancePolicy):
+            def __init__(self):
+                self.calls = 0
+
+            def accepts(self, server, joiner_id):
+                self.calls += 1
+                return False
+
+        never = Never()
+        s = make_server(0, never, k=1)
+        s.add_child(Server(1))
+        # Capacity already exhausted: policy not even consulted.
+        assert not s.willing_to_accept(2)
+        assert never.calls == 0
+
+    def test_policy_can_refuse(self):
+        s = make_server(0, LoadCapPolicy(load_of=lambda sid: 0.99))
+        assert not s.willing_to_accept(1)
+
+
+class TestDomainAffinity:
+    def domains(self):
+        return {0: "a", 1: "a", 2: "a", 3: "b", 4: "b", 5: "b"}
+
+    def test_same_domain_always_welcome(self):
+        p = DomainAffinityPolicy(self.domains())
+        s = make_server(0, p)
+        assert s.willing_to_accept(1)
+
+    def test_strict_refuses_foreign(self):
+        p = DomainAffinityPolicy(self.domains(), strict=True)
+        s = make_server(0, p)
+        assert s.willing_to_accept(2)
+        assert not s.willing_to_accept(3)
+
+    def test_foreign_quota(self):
+        p = DomainAffinityPolicy(self.domains(), foreign_quota=1)
+        s = make_server(0, p, k=5)
+        assert s.willing_to_accept(3)
+        s.add_child(Server(3))
+        assert not s.willing_to_accept(4)  # quota used
+        assert s.willing_to_accept(1)  # same-domain still fine
+
+    def test_join_respects_domains(self):
+        """A strict-domain hierarchy clusters by domain: the accept-all
+        root bridges the two domains, everything below stays pure."""
+        domains = {i: ("a" if i < 4 else "b") for i in range(8)}
+        servers = {}
+        for i in range(8):
+            policy = (
+                None if i == 0
+                else DomainAffinityPolicy(domains, strict=True)
+            )
+            servers[i] = make_server(i, policy, k=2)
+        # Join one node of each domain first so the root bridges both.
+        order = [0, 1, 4, 2, 3, 5, 6, 7]
+        h = build_hierarchy(servers[i] for i in order)
+        h.check_invariants()
+        # Every edge below the root is intra-domain.
+        for s in h:
+            if s.parent is not None and s.parent.server_id != 0:
+                assert domains[s.server_id] == domains[s.parent.server_id]
+        # Both domains are fully represented.
+        assert len(h) == 8
+
+
+class TestLoadCap:
+    def test_every_server_overloaded_raises(self):
+        loads = {0: 0.9}
+        policy = LoadCapPolicy(load_of=lambda sid: loads.get(sid, 0.0))
+        root = make_server(0, policy, k=4)
+        h = Hierarchy(root)
+        with pytest.raises(JoinError):
+            h.join(make_server(99))
+
+    def test_join_fails_over_past_overloaded_server(self):
+        """The walk backtracks past a refusing branch to a willing one."""
+        loads = {1: 0.95}  # the first (shallowest) branch is overloaded
+        policy = LoadCapPolicy(load_of=lambda sid: loads.get(sid, 0.0))
+        root = make_server(0, None, k=2)
+        a, b = make_server(1, policy, k=4), make_server(2, policy, k=4)
+        h = Hierarchy(root)
+        h.join(a)
+        h.join(b)
+        newcomer = make_server(3, policy, k=4)
+        parent = h.join(newcomer)
+        assert parent.server_id == 2  # not the overloaded branch
+        h.check_invariants()
+
+    def test_load_drop_restores_acceptance(self):
+        loads = {0: 0.9}
+        policy = LoadCapPolicy(load_of=lambda sid: loads.get(sid, 0.0))
+        root = make_server(0, policy)
+        h = Hierarchy(root)
+        loads[0] = 0.2
+        h.join(make_server(1))
+        assert h.get(1).parent is root
+
+
+class TestComposite:
+    def test_all_must_accept(self):
+        ok = AcceptAll()
+        deny = LoadCapPolicy(load_of=lambda sid: 1.0)
+        s1 = make_server(0, CompositePolicy((ok, ok)))
+        s2 = make_server(1, CompositePolicy((ok, deny)))
+        assert s1.willing_to_accept(9)
+        assert not s2.willing_to_accept(9)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.records.attribute."""
+
+import pytest
+
+from repro.records import AttributeSpec, AttributeType, categorical, integer, numeric
+
+
+class TestAttributeType:
+    def test_numeric_kinds(self):
+        assert AttributeType.FLOAT.is_numeric
+        assert AttributeType.INT.is_numeric
+        assert not AttributeType.CATEGORICAL.is_numeric
+        assert not AttributeType.STRING.is_numeric
+
+    def test_categorical_kinds(self):
+        assert AttributeType.CATEGORICAL.is_categorical
+        assert AttributeType.STRING.is_categorical
+        assert not AttributeType.FLOAT.is_categorical
+
+
+class TestAttributeSpec:
+    def test_defaults(self):
+        spec = AttributeSpec("rate")
+        assert spec.type is AttributeType.FLOAT
+        assert spec.bounds == (0.0, 1.0)
+        assert spec.size_bytes == 8
+        assert spec.is_numeric
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            AttributeSpec("")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            AttributeSpec("x", bounds=(1.0, 0.0))
+
+    def test_equal_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", bounds=(0.5, 0.5))
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            AttributeSpec("x", size_bytes=0)
+
+    def test_numeric_with_categories_rejected(self):
+        with pytest.raises(ValueError, match="cannot declare categories"):
+            AttributeSpec("x", type=AttributeType.FLOAT, categories=("a",))
+
+    def test_validate_numeric_in_bounds(self):
+        spec = numeric("x", 0.0, 10.0)
+        spec.validate_value(5)
+        spec.validate_value(0.0)
+        spec.validate_value(10.0)
+
+    def test_validate_numeric_out_of_bounds(self):
+        spec = numeric("x", 0.0, 10.0)
+        with pytest.raises(ValueError, match="outside bounds"):
+            spec.validate_value(10.5)
+
+    def test_validate_numeric_non_numeric_value(self):
+        spec = numeric("x")
+        with pytest.raises(ValueError, match="expected numeric"):
+            spec.validate_value("fast")
+
+    def test_validate_categorical(self):
+        spec = categorical("enc", ("MPEG2", "H264"))
+        spec.validate_value("MPEG2")
+        with pytest.raises(ValueError, match="not in declared categories"):
+            spec.validate_value("AV1")
+
+    def test_validate_categorical_open_universe(self):
+        spec = categorical("enc")
+        spec.validate_value("anything")
+
+    def test_validate_categorical_non_string(self):
+        spec = categorical("enc")
+        with pytest.raises(ValueError, match="expected string"):
+            spec.validate_value(3)
+
+    def test_frozen(self):
+        spec = numeric("x")
+        with pytest.raises(AttributeError):
+            spec.name = "y"
+
+
+class TestConvenienceConstructors:
+    def test_numeric(self):
+        spec = numeric("cpu", 1, 64)
+        assert spec.bounds == (1, 64)
+        assert spec.type is AttributeType.FLOAT
+
+    def test_integer(self):
+        spec = integer("cores", 1, 128)
+        assert spec.type is AttributeType.INT
+        assert spec.is_numeric
+
+    def test_categorical_tuple(self):
+        spec = categorical("os", ["linux", "aix"])
+        assert spec.categories == ("linux", "aix")
+        assert spec.is_categorical
+
+    def test_categorical_empty_is_open(self):
+        assert categorical("os").categories is None

@@ -1,0 +1,117 @@
+"""Tests for domain catalog generators and query execution over a lossy
+network."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, Query, RangePredicate
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.workload import (
+    compute_org_inventory,
+    stream_site_catalog,
+    WorkloadConfig,
+    generate_node_stores,
+    generate_queries,
+    merge_stores,
+)
+
+
+class TestStreamCatalogs:
+    def test_shape_and_schema(self):
+        rng = np.random.default_rng(1)
+        cat = stream_site_catalog(rng, site=0, sources=80)
+        assert len(cat) == 80
+        assert "type" in cat.schema and "rate_kbps" in cat.schema
+        assert cat.owner == "site-0"
+
+    def test_speciality_dominates(self):
+        rng = np.random.default_rng(2)
+        cat = stream_site_catalog(rng, site=0, sources=400)
+        types = cat.categorical_column("type")
+        assert types.count("camera") > 200  # site 0 specializes in cameras
+
+    def test_zero_bias_uniformizes(self):
+        rng = np.random.default_rng(3)
+        cat = stream_site_catalog(rng, site=0, sources=400, speciality_bias=0.0)
+        types = cat.categorical_column("type")
+        # roughly uniform across 4 types
+        assert max(types.count(t) for t in set(types)) < 180
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            stream_site_catalog(rng, 0, sources=0)
+        with pytest.raises(ValueError):
+            stream_site_catalog(rng, 0, speciality_bias=1.5)
+
+    def test_values_within_bounds(self):
+        rng = np.random.default_rng(4)
+        cat = stream_site_catalog(rng, site=1, sources=200)
+        assert cat.numeric_column("rate_kbps").max() <= 10_000
+        assert cat.numeric_column("uptime").max() <= 1.0
+
+
+class TestComputeInventories:
+    def test_shape(self):
+        rng = np.random.default_rng(5)
+        inv = compute_org_inventory(rng, org=3, machines=60)
+        assert len(inv) == 60
+        assert inv.owner == "org-3"
+        assert set(inv.categorical_column("arch")) <= {
+            "x86_64", "ppc64", "arm64"
+        }
+
+    def test_queryable(self):
+        rng = np.random.default_rng(6)
+        inv = compute_org_inventory(rng, org=0, machines=300)
+        q = Query.of(
+            EqualsPredicate("arch", "x86_64"),
+            RangePredicate("cpus", 8, 512),
+        )
+        assert 0 < q.match_count(inv) < 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_org_inventory(np.random.default_rng(0), 0, machines=0)
+
+
+class TestQueriesOverLossyNetwork:
+    def test_queries_complete_despite_loss(self):
+        """Message loss turns into timeouts, not hangs; results are a
+        subset of the truth (lost legs are reported as timed out)."""
+        wcfg = WorkloadConfig(num_nodes=20, records_per_node=50, seed=91)
+        stores = generate_node_stores(wcfg)
+        system = RoadsSystem.build(
+            RoadsConfig(num_nodes=20, records_per_node=50, max_children=3,
+                        summary=SummaryConfig(histogram_buckets=60), seed=91),
+            stores,
+        )
+        system.network.loss_rate = 0.15
+        system.network._rng = np.random.default_rng(92)
+        reference = merge_stores(stores)
+        complete, lossy = 0, 0
+        for q in generate_queries(wcfg, num_queries=12, dimensions=2):
+            o = system.execute_query(q, client_node=0)
+            assert o.completed
+            assert o.total_matches <= q.match_count(reference)
+            if o.timed_out_servers:
+                lossy += 1
+            if o.total_matches == q.match_count(reference):
+                complete += 1
+        # With 15% loss, some queries lose legs but most still finish whole.
+        assert complete >= 4
+
+    def test_zero_loss_is_exact(self):
+        wcfg = WorkloadConfig(num_nodes=20, records_per_node=50, seed=91)
+        stores = generate_node_stores(wcfg)
+        system = RoadsSystem.build(
+            RoadsConfig(num_nodes=20, records_per_node=50, max_children=3,
+                        summary=SummaryConfig(histogram_buckets=60), seed=91),
+            stores,
+        )
+        reference = merge_stores(stores)
+        for q in generate_queries(wcfg, num_queries=6, dimensions=2):
+            o = system.execute_query(q, client_node=0)
+            assert o.total_matches == q.match_count(reference)
+            assert not o.timed_out_servers

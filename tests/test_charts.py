@@ -1,0 +1,50 @@
+"""Tests for ASCII charts (repro.experiments.charts)."""
+
+import pytest
+
+from repro.experiments.charts import ascii_chart
+
+
+ROWS = [
+    {"n": 64, "roads": 222.0, "sword": 476.0},
+    {"n": 192, "roads": 527.0, "sword": 777.0},
+    {"n": 320, "roads": 558.0, "sword": 1079.0},
+]
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        art = ascii_chart(ROWS, "n", ["roads", "sword"], title="fig3")
+        assert "fig3" in art
+        assert "* roads" in art and "o sword" in art
+        plot = "\n".join(art.splitlines()[2:])  # below the legend
+        assert "*" in plot and "o" in plot  # marks plotted somewhere
+
+    def test_axis_annotations(self):
+        art = ascii_chart(ROWS, "n", ["roads"])
+        assert "222" in art  # y min
+        assert "558" in art  # y max
+        assert "64" in art and "320" in art  # x range
+
+    def test_log_scale(self):
+        rows = [{"n": 1, "v": 10.0}, {"n": 2, "v": 1e6}]
+        art = ascii_chart(rows, "n", ["v"], log_y=True)
+        assert "1e1.0" in art and "1e6.0" in art
+
+    def test_log_scale_rejects_nonpositive(self):
+        rows = [{"n": 1, "v": 0.0}]
+        with pytest.raises(ValueError, match="positive"):
+            ascii_chart(rows, "n", ["v"], log_y=True)
+
+    def test_empty_rows(self):
+        assert ascii_chart([], "n", ["v"]) == "(no rows)"
+
+    def test_constant_series(self):
+        rows = [{"n": i, "v": 5.0} for i in range(3)]
+        art = ascii_chart(rows, "n", ["v"])  # no div-by-zero
+        assert "5" in art
+
+    def test_dimensions_respected(self):
+        art = ascii_chart(ROWS, "n", ["roads"], width=30, height=8)
+        plot_lines = [l for l in art.splitlines() if "│" in l or "┤" in l]
+        assert len(plot_lines) == 8

@@ -1,0 +1,121 @@
+"""Tests for the CLI (repro.cli) and row export (experiments.export)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.export import (
+    load_rows_csv,
+    load_rows_json,
+    save_rows_csv,
+    save_rows_json,
+)
+
+
+class TestExportCSV:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"nodes": 64, "latency_ms": 222.5, "name": "roads"},
+            {"nodes": 128, "latency_ms": 300.0, "name": "sword"},
+        ]
+        path = save_rows_csv(rows, tmp_path / "rows.csv")
+        back = load_rows_csv(path)
+        assert back == rows
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        back = load_rows_csv(save_rows_csv(rows, tmp_path / "r.csv"))
+        assert back[0]["a"] == 1 and back[0]["b"] == ""
+        assert back[1]["b"] == 3
+
+    def test_empty(self, tmp_path):
+        path = save_rows_csv([], tmp_path / "empty.csv")
+        assert load_rows_csv(path) == []
+
+    def test_type_coercion(self, tmp_path):
+        rows = [{"i": 5, "f": 2.5, "s": "abc"}]
+        back = load_rows_csv(save_rows_csv(rows, tmp_path / "t.csv"))
+        assert isinstance(back[0]["i"], int)
+        assert isinstance(back[0]["f"], float)
+        assert isinstance(back[0]["s"], str)
+
+
+class TestExportJSON:
+    def test_roundtrip_with_meta(self, tmp_path):
+        rows = [{"x": 1}]
+        path = save_rows_json(
+            rows, tmp_path / "doc.json", meta={"figure": "fig3", "seed": 1}
+        )
+        doc = load_rows_json(path)
+        assert doc["rows"] == rows
+        assert doc["meta"]["figure"] == "fig3"
+
+    def test_valid_json_on_disk(self, tmp_path):
+        path = save_rows_json([{"x": 1}], tmp_path / "d.json")
+        json.loads(path.read_text())
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["selftest", "--seed", "3"])
+        assert args.command == "selftest" and args.seed == 3
+        args = parser.parse_args(["figure", "fig3"])
+        assert args.target == "fig3"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+
+    def test_figure_with_csv_output(self, tmp_path, capsys):
+        out_path = tmp_path / "t1.csv"
+        rc = main(["figure", "table1", "--output", str(out_path)])
+        assert rc == 0
+        rows = load_rows_csv(out_path)
+        assert rows  # analytical + measured rows present
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+
+class TestSuite:
+    def test_run_suite_smoke(self, tmp_path):
+        from repro.experiments import run_suite
+
+        results = run_suite(
+            tmp_path / "res",
+            targets=["table1_analytical", "fig10"],
+            scale="quick",
+            progress=None,
+        )
+        assert set(results) == {"table1_analytical", "fig10"}
+        assert (tmp_path / "res" / "fig10.csv").exists()
+        assert (tmp_path / "res" / "fig10.json").exists()
+        summary = (tmp_path / "res" / "SUMMARY.md").read_text()
+        assert "fig10" in summary and "table1_analytical" in summary
+
+    def test_unknown_target_rejected(self, tmp_path):
+        from repro.experiments import run_suite
+
+        with pytest.raises(ValueError, match="unknown targets"):
+            run_suite(tmp_path, targets=["fig99"], progress=None)
+
+    def test_available_targets(self):
+        from repro.experiments import available_targets
+
+        targets = available_targets()
+        assert "fig3" in targets and "fig11" in targets
+        assert "table1_analytical" in targets
+
+    def test_cli_suite_subcommand(self, tmp_path, capsys):
+        rc = main([
+            "suite", "--out", str(tmp_path / "r"),
+            "--targets", "table1_analytical",
+        ])
+        assert rc == 0
+        assert (tmp_path / "r" / "SUMMARY.md").exists()

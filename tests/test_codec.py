@@ -1,0 +1,175 @@
+"""Tests for repro.summaries.codec (binary wire format)."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, Query, RangePredicate
+from repro.records import RecordStore, Schema, categorical, numeric
+from repro.summaries import (
+    BloomFilterSummary,
+    HistogramSummary,
+    ResourceSummary,
+    SummaryConfig,
+    ValueSetSummary,
+)
+from repro.summaries.codec import (
+    CodecError,
+    decode_attribute,
+    decode_bloom,
+    decode_histogram,
+    decode_summary,
+    decode_valueset,
+    encode_attribute,
+    encode_bloom,
+    encode_histogram,
+    encode_summary,
+    encode_valueset,
+)
+
+
+class TestHistogramCodec:
+    @pytest.mark.parametrize("encoding", ["dense", "sparse"])
+    def test_roundtrip_exact(self, encoding):
+        rng = np.random.default_rng(0)
+        h = HistogramSummary.from_values(
+            "rate", rng.random(500), 128, encoding=encoding
+        )
+        out, off = decode_histogram(encode_histogram(h))
+        assert out == h
+        assert off == len(encode_histogram(h))
+
+    def test_roundtrip_custom_bounds(self):
+        h = HistogramSummary.from_values(
+            "rate", [500.0], 16, (0.0, 1000.0), encoding="dense"
+        )
+        out, _ = decode_histogram(encode_histogram(h))
+        assert out.lo == 0.0 and out.hi == 1000.0
+        assert out.counts[8] == 1
+
+    def test_bitmap_preserves_occupancy(self):
+        h = HistogramSummary.from_values(
+            "a", [0.11, 0.12, 0.9], 10, encoding="bitmap"
+        )
+        out, _ = decode_histogram(encode_histogram(h))
+        # counts collapse to occupancy, semantics preserved
+        assert (out.counts > 0).tolist() == (h.counts > 0).tolist()
+        for lo in np.linspace(0, 0.9, 10):
+            pred = RangePredicate("a", float(lo), float(lo) + 0.05)
+            assert out.may_match(pred) == h.may_match(pred)
+
+    def test_empty_histogram(self):
+        h = HistogramSummary("a", 32, encoding="sparse")
+        out, _ = decode_histogram(encode_histogram(h))
+        assert out.is_empty
+
+    def test_wrong_kind_rejected(self):
+        v = encode_valueset(ValueSetSummary("x", ["a"]))
+        with pytest.raises(CodecError, match="histogram"):
+            decode_histogram(v)
+
+
+class TestValueSetCodec:
+    def test_roundtrip(self):
+        s = ValueSetSummary("enc", ["MPEG2", "H264", "日本語"])
+        out, off = decode_valueset(encode_valueset(s))
+        assert out == s
+
+    def test_empty(self):
+        out, _ = decode_valueset(encode_valueset(ValueSetSummary("enc")))
+        assert out.is_empty
+
+
+class TestBloomCodec:
+    def test_roundtrip(self):
+        f = BloomFilterSummary.from_values(
+            "enc", [f"v{i}" for i in range(50)], 512, 3
+        )
+        out, _ = decode_bloom(encode_bloom(f))
+        assert out == f
+        assert out.contains("v7") and out.num_hashes == 3
+
+    def test_empty(self):
+        out, _ = decode_bloom(encode_bloom(BloomFilterSummary("enc", 64, 2)))
+        assert out.is_empty
+
+
+class TestDispatch:
+    def test_encode_decode_any(self):
+        for summ in (
+            HistogramSummary.from_values("a", [0.5], 8),
+            ValueSetSummary("b", ["x"]),
+            BloomFilterSummary.from_values("c", ["y"], 64, 2),
+        ):
+            out, _ = decode_attribute(encode_attribute(summ))
+            assert type(out) is type(summ)
+            assert out == summ
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            decode_attribute(b"")
+
+    def test_unknown_kind(self):
+        with pytest.raises(CodecError, match="unknown frame"):
+            decode_attribute(b"\xff\x00")
+
+
+class TestSummaryCodec:
+    @pytest.fixture
+    def schema(self):
+        return Schema([numeric("a"), numeric("b"), categorical("c")])
+
+    @pytest.fixture
+    def store(self, schema):
+        rng = np.random.default_rng(3)
+        return RecordStore.from_arrays(
+            schema, rng.random((80, 2)), [["x" if i % 3 else "y" for i in range(80)]]
+        )
+
+    @pytest.mark.parametrize("encoding", ["dense", "sparse", "bitmap"])
+    def test_roundtrip_semantics(self, schema, store, encoding):
+        cfg = SummaryConfig(histogram_buckets=64, histogram_encoding=encoding)
+        s = ResourceSummary.from_store(store, cfg, created_at=42.0)
+        out = decode_summary(encode_summary(s), schema, cfg)
+        assert out.created_at == 42.0
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            lo = rng.random(2) * 0.8
+            q = Query.of(
+                RangePredicate("a", lo[0], lo[0] + 0.15),
+                RangePredicate("b", lo[1], lo[1] + 0.15),
+                EqualsPredicate("c", "x" if rng.random() < 0.5 else "z"),
+            )
+            assert out.may_match(q) == s.may_match(q)
+
+    def test_encoded_size_matches_reality(self, schema, store):
+        """The simulator's byte accounting vs the actual frame size.
+
+        encoded_size() models per-attribute payloads with small headers;
+        the real frame should be within 15% of the accounted size.
+        """
+        for encoding in ("dense", "sparse", "bitmap"):
+            cfg = SummaryConfig(
+                histogram_buckets=512, histogram_encoding=encoding
+            )
+            s = ResourceSummary.from_store(store, cfg)
+            real = len(encode_summary(s))
+            accounted = s.encoded_size()
+            # within 15% plus a small fixed allowance for frame headers
+            assert abs(real - accounted) <= 0.15 * accounted + 64, (
+                encoding, real, accounted
+            )
+
+    def test_bad_magic(self, schema):
+        cfg = SummaryConfig()
+        with pytest.raises(CodecError, match="magic"):
+            decode_summary(b"nope", schema, cfg)
+
+    def test_missing_attribute_detected(self, schema, store):
+        cfg = SummaryConfig(histogram_buckets=16)
+        s = ResourceSummary.from_store(store, cfg)
+        buf = encode_summary(s)
+        bigger = Schema(
+            [numeric("a"), numeric("b"), numeric("zz"), categorical("c")]
+        )
+        with pytest.raises(CodecError, match="missing attributes"):
+            decode_summary(buf, bigger, cfg)

@@ -1,0 +1,145 @@
+"""Tests for dynamic records (repro.workload.dynamics) and the full
+dynamics + aggregation + delta-propagation loop."""
+
+import numpy as np
+import pytest
+
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.sim import Simulator
+from repro.summaries import SummaryConfig
+from repro.workload import (
+    DynamicsConfig,
+    RecordDynamics,
+    WorkloadConfig,
+    generate_node_stores,
+    generate_queries,
+    merge_stores,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicsConfig(record_interval=0)
+        with pytest.raises(ValueError):
+            DynamicsConfig(change_fraction=0)
+        with pytest.raises(ValueError):
+            DynamicsConfig(change_fraction=1.5)
+        with pytest.raises(ValueError):
+            DynamicsConfig(step_sigma=0)
+
+
+class TestRandomWalk:
+    def make(self, **kwargs):
+        wcfg = WorkloadConfig(num_nodes=4, records_per_node=100, seed=3)
+        stores = generate_node_stores(wcfg)
+        sim = Simulator()
+        dyn = RecordDynamics(
+            sim, stores, np.random.default_rng(0), DynamicsConfig(**kwargs)
+        )
+        return wcfg, stores, sim, dyn
+
+    def test_step_changes_expected_fraction(self):
+        _, stores, _, dyn = self.make(change_fraction=0.25)
+        before = stores[0].numeric_matrix.copy()
+        changed = dyn.step()
+        assert changed == 4 * 25
+        after = stores[0].numeric_matrix
+        rows_changed = (np.abs(after - before).sum(axis=1) > 0).sum()
+        assert rows_changed <= 25  # clipping can leave some unchanged
+        assert rows_changed >= 15
+
+    def test_values_stay_in_bounds(self):
+        _, stores, _, dyn = self.make(step_sigma=0.5)  # violent steps
+        for _ in range(10):
+            dyn.step()
+        for st in stores:
+            m = st.numeric_matrix
+            assert m.min() >= 0.0 and m.max() <= 1.0
+
+    def test_attribute_subset(self):
+        _, stores, _, dyn = self.make(attributes=["u0"])
+        before = stores[0].numeric_matrix.copy()
+        dyn.step()
+        after = stores[0].numeric_matrix
+        u0 = stores[0].schema.numeric_position("u0")
+        others = [j for j in range(before.shape[1]) if j != u0]
+        assert np.array_equal(before[:, others], after[:, others])
+
+    def test_periodic_scheduling(self):
+        _, _, sim, dyn = self.make(record_interval=6.0)
+        sim.run(until=30.5)
+        assert dyn.epochs == 5
+        dyn.stop()
+        sim.run(until=100.0)
+        assert dyn.epochs == 5
+
+
+class TestDynamicFederation:
+    def test_summaries_track_drifting_data(self):
+        """After any number of drift epochs, a refresh restores exact
+        query results — the soft-state freshness guarantee."""
+        wcfg = WorkloadConfig(num_nodes=16, records_per_node=80, seed=5)
+        stores = generate_node_stores(wcfg)
+        system = RoadsSystem.build(
+            RoadsConfig(
+                num_nodes=16,
+                records_per_node=80,
+                max_children=3,
+                summary=SummaryConfig(histogram_buckets=80),
+                delta_updates=True,
+                seed=5,
+            ),
+            stores,
+        )
+        dyn = RecordDynamics(
+            system.sim,
+            stores,
+            np.random.default_rng(7),
+            DynamicsConfig(record_interval=6.0, step_sigma=0.05),
+        )
+        queries = generate_queries(wcfg, num_queries=5, dimensions=2)
+        for _ in range(5):
+            system.sim.run(until=system.sim.now + 60.0)  # 10 t_r epochs
+            # Freeze the drift while verifying (query execution itself
+            # advances virtual time, which would let epochs fire mid-check).
+            dyn.pause()
+            system.refresh()  # one t_s epoch
+            reference = merge_stores(stores)
+            for q in queries:
+                o = system.execute_query(q, client_node=0)
+                assert o.total_matches == q.match_count(reference)
+            dyn.resume()
+
+    def test_small_steps_mostly_free_under_delta(self):
+        """Tiny drifts rarely cross bucket boundaries: most delta epochs
+        ship far fewer full summaries than the federation has edges."""
+        wcfg = WorkloadConfig(num_nodes=16, records_per_node=80, seed=6)
+        stores = generate_node_stores(wcfg)
+        system = RoadsSystem.build(
+            RoadsConfig(
+                num_nodes=16,
+                records_per_node=80,
+                max_children=3,
+                # coarse buckets: a 1e-4 step almost never crosses one
+                summary=SummaryConfig(histogram_buckets=10),
+                delta_updates=True,
+                seed=6,
+            ),
+            stores,
+        )
+        dyn = RecordDynamics(
+            system.sim,
+            stores,
+            np.random.default_rng(8),
+            DynamicsConfig(
+                record_interval=6.0, step_sigma=1e-4, change_fraction=0.05
+            ),
+        )
+        full, total = 0, 0
+        for _ in range(10):
+            system.sim.run(until=system.sim.now + 6.0)
+            report = system.refresh()
+            full += report.aggregation.full_reports
+            total += report.aggregation.messages
+        assert full < total * 0.5  # most reports were keep-alives

@@ -1,0 +1,74 @@
+"""Smoke tests for the figure drivers not covered elsewhere.
+
+Shape assertions live in benchmarks/ (at meaningful scale); these verify
+driver mechanics — row structure, sweep handling, determinism — at tiny
+scale so the whole experiments package is exercised by `pytest tests/`.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    fig4_update_overhead_vs_nodes,
+    fig5_query_overhead_vs_nodes,
+    fig7_query_overhead_vs_dimensions,
+    fig11_response_time_vs_selectivity,
+)
+
+SMOKE = ExperimentSettings.smoke()
+
+
+class TestFig4Driver:
+    def test_rows_structure(self):
+        rows = fig4_update_overhead_vs_nodes(SMOKE, node_sweep=(24, 48))
+        assert [r["nodes"] for r in rows] == [24, 48]
+        for r in rows:
+            assert r["roads_update_bytes"] > 0
+            assert r["sword_update_bytes"] > r["roads_update_bytes"]
+            assert r["ratio"] > 1
+
+    def test_deterministic(self):
+        a = fig4_update_overhead_vs_nodes(SMOKE, node_sweep=(24,))
+        b = fig4_update_overhead_vs_nodes(SMOKE, node_sweep=(24,))
+        assert a == b
+
+
+class TestFig5Driver:
+    def test_rows_structure(self):
+        rows = fig5_query_overhead_vs_nodes(
+            SMOKE.with_(num_queries=10), node_sweep=(24, 48)
+        )
+        assert len(rows) == 2
+        for r in rows:
+            assert r["roads_query_bytes"] > 0
+            assert r["sword_query_bytes"] > 0
+
+
+class TestFig7Driver:
+    def test_rows_structure(self):
+        rows = fig7_query_overhead_vs_dimensions(
+            SMOKE.with_(num_queries=10), dimension_sweep=(2, 6)
+        )
+        assert [r["dimensions"] for r in rows] == [2, 6]
+        # SWORD messages grow with dimensionality (bigger queries).
+        assert rows[1]["sword_query_bytes"] > rows[0]["sword_query_bytes"]
+
+
+class TestFig11Driver:
+    def test_rows_structure_small(self):
+        # Tiny population: crossover position is out of scope here (it
+        # needs the full 160k records); check mechanics only.
+        rows = fig11_response_time_vs_selectivity(
+            ExperimentSettings(
+                num_nodes=24, records_per_node=100, num_queries=5,
+                runs=1, seed=2,
+            ),
+            selectivity_sweep=(0.01, 0.05),
+            queries_per_group=4,
+        )
+        assert [r["selectivity_pct"] for r in rows] == [1.0, 5.0]
+        for r in rows:
+            assert r["queries"] == 4
+            assert r["roads_mean_ms"] > 0
+            assert r["central_mean_ms"] > 0
+            assert r["roads_p90_ms"] >= r["roads_mean_ms"] * 0.5

@@ -1,0 +1,78 @@
+"""Tests for best-effort early termination (``first_k`` queries)."""
+
+import pytest
+
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.workload import (
+    WorkloadConfig,
+    generate_node_stores,
+    generate_queries,
+    merge_stores,
+)
+
+
+@pytest.fixture(scope="module")
+def system_and_query():
+    wcfg = WorkloadConfig(num_nodes=32, records_per_node=100, seed=51)
+    stores = generate_node_stores(wcfg)
+    system = RoadsSystem.build(
+        RoadsConfig(
+            num_nodes=32,
+            records_per_node=100,
+            max_children=3,
+            summary=SummaryConfig(histogram_buckets=100),
+            seed=51,
+        ),
+        stores,
+    )
+    reference = merge_stores(stores)
+    # Pick an unselective query with plenty of matches across owners.
+    queries = generate_queries(wcfg, num_queries=10, dimensions=2)
+    query = max(queries, key=lambda q: q.match_count(reference))
+    assert query.match_count(reference) >= 50
+    return system, query, reference
+
+
+class TestFirstK:
+    def test_reaches_requested_count(self, system_and_query):
+        system, query, reference = system_and_query
+        k = 10
+        outcome = system.execute_query(query, client_node=0, first_k=k)
+        assert outcome.completed
+        assert outcome.total_matches >= k
+
+    def test_contacts_fewer_servers_than_full(self, system_and_query):
+        system, query, _ = system_and_query
+        full = system.execute_query(query, client_node=0)
+        partial = system.execute_query(query, client_node=0, first_k=5)
+        assert partial.servers_contacted <= full.servers_contacted
+        assert partial.query_bytes <= full.query_bytes
+
+    def test_results_are_subset_of_truth(self, system_and_query):
+        system, query, reference = system_and_query
+        outcome = system.execute_query(
+            query, client_node=0, first_k=8, collect_records=True
+        )
+        got = outcome.matched_records()
+        assert got is not None
+        # Every returned record genuinely matches.
+        assert query.match_count(got) == len(got)
+        assert len(got) <= query.match_count(reference)
+
+    def test_unreachable_k_degrades_to_full_search(self, system_and_query):
+        system, query, reference = system_and_query
+        truth = query.match_count(reference)
+        outcome = system.execute_query(
+            query, client_node=0, first_k=truth * 10
+        )
+        # Cannot satisfy: behaves as the complete search.
+        assert outcome.total_matches == truth
+
+    def test_first_k_one_touches_minimum(self, system_and_query):
+        system, query, _ = system_and_query
+        outcome = system.execute_query(query, client_node=0, first_k=1)
+        assert outcome.total_matches >= 1
+        # The search collapsed early: a small handful of servers.
+        full = system.execute_query(query, client_node=0)
+        assert outcome.servers_contacted < max(3, full.servers_contacted)

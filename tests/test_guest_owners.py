@@ -1,0 +1,134 @@
+"""Tests for third-party (guest) owner attachment — Figure 1's owner D.
+
+A guest owner has no server of its own: it exports a *summary* to a
+server run by someone else, keeps its records private at its own node,
+and answers matching queries directly (one extra hop for the client).
+"""
+
+import numpy as np
+import pytest
+
+from repro.query import Query, RangePredicate
+from repro.roads import DenyAllPolicy, GuestOwner, RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.workload import (
+    WorkloadConfig,
+    generate_node_stores,
+    generate_queries,
+    make_schema,
+    merge_stores,
+)
+from repro.records import RecordStore
+
+N = 16
+
+
+@pytest.fixture
+def setup():
+    wcfg = WorkloadConfig(num_nodes=N, records_per_node=40, seed=31)
+    stores = generate_node_stores(wcfg)
+    schema = make_schema(wcfg)
+    rng = np.random.default_rng(99)
+    # A guest with distinctive data: u0 confined to [0.45, 0.55].
+    cols = rng.random((600, wcfg.num_attributes))
+    cols[:, 0] = 0.45 + 0.1 * rng.random(600)
+    guest_store = RecordStore.from_arrays(schema, cols, [], owner="guest-co")
+    cfg = RoadsConfig(
+        num_nodes=N,
+        records_per_node=40,
+        max_children=3,
+        summary=SummaryConfig(histogram_buckets=100),
+        seed=31,
+    )
+    system = RoadsSystem.build(
+        cfg,
+        stores,
+        guests=[GuestOwner(store=guest_store, attach_to=5, owner_id="guest-co")],
+    )
+    return wcfg, stores, guest_store, system
+
+
+class TestAttachment:
+    def test_guest_attached_as_summary_only(self, setup):
+        _, _, guest_store, system = setup
+        server = system.hierarchy.get(5)
+        guest = next(o for o in server.owners if o.owner_id == "guest-co")
+        assert not guest.controls_server
+        assert guest.node_id == N  # first guest slot
+        assert guest.summary is not None
+        # The attachment server holds a summary, not the records.
+        assert guest.exported_size_bytes == guest.summary.encoded_size()
+        assert guest.exported_size_bytes < guest_store.size_bytes
+
+    def test_bad_attach_to_rejected(self, setup):
+        wcfg, stores, guest_store, _ = setup
+        cfg = RoadsConfig(
+            num_nodes=N, records_per_node=40, max_children=3, seed=31
+        )
+        with pytest.raises(ValueError, match="attach_to"):
+            RoadsSystem.build(
+                cfg, stores, guests=[GuestOwner(guest_store, attach_to=N + 3)]
+            )
+
+    def test_guest_export_costs_update_traffic(self, setup):
+        _, _, _, system = setup
+        report = system.refresh()
+        assert report.aggregation.export_bytes > 0
+
+
+class TestDiscovery:
+    def query(self):
+        return Query.of(RangePredicate("u0", 0.46, 0.54))
+
+    def test_guest_records_discoverable(self, setup):
+        _, stores, guest_store, system = setup
+        q = self.query()
+        outcome = system.execute_query(q, client_node=0)
+        want = q.match_count(merge_stores(stores)) + q.match_count(guest_store)
+        assert outcome.total_matches == want
+        assert any(h.owner_id == "guest-co" for h in outcome.owner_hits)
+
+    def test_query_travels_to_guest_node(self, setup):
+        _, _, _, system = setup
+        outcome = system.execute_query(self.query(), client_node=0)
+        assert N in outcome.arrivals  # the guest's own node was contacted
+        # The guest hit is recorded at the guest node, after the server.
+        hit = next(h for h in outcome.owner_hits if h.owner_id == "guest-co")
+        assert hit.server_id == N
+        assert hit.arrival_time >= outcome.arrivals[5] if 5 in outcome.arrivals else True
+
+    def test_extra_hop_costs_latency(self, setup):
+        """The guest leg adds client->guest latency to the completion."""
+        _, _, _, system = setup
+        outcome = system.execute_query(self.query(), client_node=0)
+        # The guest arrival is strictly after the query start.
+        assert outcome.arrivals[N] > outcome.started_at
+
+    def test_non_matching_query_skips_guest(self, setup):
+        _, _, _, system = setup
+        q = Query.of(RangePredicate("u0", 0.95, 0.99))
+        outcome = system.execute_query(q, client_node=0)
+        assert not any(h.owner_id == "guest-co" for h in outcome.owner_hits)
+        assert N not in outcome.arrivals
+
+
+class TestGuestPolicy:
+    def test_guest_policy_applies_at_guest(self, setup):
+        _, _, guest_store, system = setup
+        system.set_policy("guest-co", DenyAllPolicy())
+        q = Query.of(RangePredicate("u0", 0.46, 0.54))
+        outcome = system.execute_query(q, client_node=0)
+        guest_hits = [h for h in outcome.owner_hits if h.owner_id == "guest-co"]
+        # Still discovered and contacted, but the owner returns nothing:
+        # voluntary sharing retains final control at the owner.
+        assert guest_hits and guest_hits[0].match_count == 0
+
+
+class TestStorageAccounting:
+    def test_attachment_server_counts_guest_summary(self, setup):
+        _, _, _, system = setup
+        storage = system.storage_bytes_by_server()
+        server = system.hierarchy.get(5)
+        guest = next(o for o in server.owners if o.owner_id == "guest-co")
+        other = system.storage_bytes_by_server()[6]
+        assert storage[5] >= guest.summary.encoded_size()

@@ -1,0 +1,178 @@
+"""Unit tests for repro.summaries.histogram."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, RangePredicate
+from repro.summaries import HistogramSummary, SummaryMergeError
+
+
+class TestConstruction:
+    def test_empty(self):
+        h = HistogramSummary("a", 10)
+        assert h.is_empty
+        assert h.total == 0
+        assert h.buckets == 10
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError, match="bucket"):
+            HistogramSummary("a", 0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            HistogramSummary("a", 10, (1.0, 0.0))
+
+    def test_invalid_encoding(self):
+        with pytest.raises(ValueError, match="encoding"):
+            HistogramSummary("a", 10, encoding="zip")
+
+    def test_counts_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            HistogramSummary("a", 10, counts=np.zeros(5))
+        with pytest.raises(ValueError, match="non-negative"):
+            HistogramSummary("a", 3, counts=np.array([1, -1, 0]))
+
+    def test_from_values(self):
+        h = HistogramSummary.from_values("a", [0.05, 0.15, 0.95], 10)
+        assert h.total == 3
+        assert h.counts[0] == 1 and h.counts[1] == 1 and h.counts[9] == 1
+
+    def test_values_clipped_into_domain(self):
+        h = HistogramSummary.from_values("a", [-5.0, 7.0], 10)
+        assert h.counts[0] == 1 and h.counts[9] == 1
+
+    def test_value_at_upper_bound_goes_to_last_bucket(self):
+        h = HistogramSummary.from_values("a", [1.0], 10)
+        assert h.counts[9] == 1
+
+    def test_custom_bounds(self):
+        h = HistogramSummary.from_values("rate", [500.0], 10, (0.0, 1000.0))
+        assert h.counts[5] == 1
+
+
+class TestMayMatch:
+    def test_hit(self):
+        h = HistogramSummary.from_values("a", [0.42], 100)
+        assert h.may_match(RangePredicate("a", 0.4, 0.45))
+
+    def test_miss(self):
+        h = HistogramSummary.from_values("a", [0.42], 100)
+        assert not h.may_match(RangePredicate("a", 0.6, 0.9))
+
+    def test_no_false_negatives_exhaustive(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(200)
+        h = HistogramSummary.from_values("a", values, 57)
+        for _ in range(200):
+            lo = rng.random() * 0.9
+            hi = lo + rng.random() * (1 - lo)
+            pred = RangePredicate("a", lo, hi)
+            actually = bool(((values >= lo) & (values <= hi)).any())
+            if actually:
+                assert h.may_match(pred)
+
+    def test_false_positive_possible(self):
+        # Values at both ends of one bucket's neighbours: a range falling
+        # entirely inside an occupied bucket but between values matches.
+        h = HistogramSummary.from_values("a", [0.101, 0.199], 10)
+        assert h.may_match(RangePredicate("a", 0.14, 0.16))  # bucket 1 occupied
+
+    def test_disjoint_range_is_false(self):
+        h = HistogramSummary.from_values("rate", [5.0], 10, (0.0, 10.0))
+        assert not h.may_match(RangePredicate("rate", 20.0, 30.0))
+
+    def test_equality_predicate_rejected(self):
+        h = HistogramSummary("a", 10)
+        with pytest.raises(TypeError, match="cannot evaluate equality"):
+            h.may_match(EqualsPredicate("c", "x"))
+
+
+class TestMerge:
+    def test_counts_add(self):
+        a = HistogramSummary.from_values("a", [0.1, 0.2], 10)
+        b = HistogramSummary.from_values("a", [0.1, 0.9], 10)
+        m = a.merge(b)
+        assert m.total == 4
+        assert m.counts[1] == 2
+
+    def test_merge_commutative(self):
+        a = HistogramSummary.from_values("a", [0.1], 10)
+        b = HistogramSummary.from_values("a", [0.9], 10)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_does_not_mutate(self):
+        a = HistogramSummary.from_values("a", [0.1], 10)
+        b = HistogramSummary.from_values("a", [0.9], 10)
+        a.merge(b)
+        assert a.total == 1 and b.total == 1
+
+    def test_incompatible_buckets(self):
+        with pytest.raises(SummaryMergeError):
+            HistogramSummary("a", 10).merge(HistogramSummary("a", 20))
+
+    def test_incompatible_attribute(self):
+        with pytest.raises(SummaryMergeError):
+            HistogramSummary("a", 10).merge(HistogramSummary("b", 10))
+
+    def test_incompatible_type(self):
+        from repro.summaries import ValueSetSummary
+
+        with pytest.raises(SummaryMergeError):
+            HistogramSummary("a", 10).merge(ValueSetSummary("a"))
+
+
+class TestEncoding:
+    def test_dense_constant_size(self):
+        small = HistogramSummary.from_values("a", [0.5], 100, encoding="dense")
+        big = HistogramSummary.from_values(
+            "a", np.random.default_rng(0).random(10000), 100, encoding="dense"
+        )
+        assert small.encoded_size() == big.encoded_size()
+
+    def test_sparse_scales_with_occupancy(self):
+        one = HistogramSummary.from_values("a", [0.5], 100, encoding="sparse")
+        many = HistogramSummary.from_values(
+            "a", np.linspace(0, 1, 50), 100, encoding="sparse"
+        )
+        assert many.encoded_size() > one.encoded_size()
+
+    def test_bitmap_smallest_for_full_histograms(self):
+        values = np.random.default_rng(1).random(5000)
+        kwargs = dict(buckets=1000)
+        dense = HistogramSummary.from_values("a", values, 1000, encoding="dense")
+        sparse = HistogramSummary.from_values("a", values, 1000, encoding="sparse")
+        bitmap = HistogramSummary.from_values("a", values, 1000, encoding="bitmap")
+        assert bitmap.encoded_size() < dense.encoded_size()
+        assert bitmap.encoded_size() < sparse.encoded_size()
+
+    def test_encoding_does_not_change_semantics(self):
+        values = [0.2, 0.7]
+        pred = RangePredicate("a", 0.6, 0.8)
+        for enc in ("dense", "sparse", "bitmap"):
+            h = HistogramSummary.from_values("a", values, 50, encoding=enc)
+            assert h.may_match(pred)
+
+
+class TestCountInRange:
+    def test_upper_bound(self):
+        values = np.random.default_rng(5).random(500)
+        h = HistogramSummary.from_values("a", values, 40)
+        lo, hi = 0.33, 0.71
+        exact = int(((values >= lo) & (values <= hi)).sum())
+        assert h.count_in_range(lo, hi) >= exact
+
+    def test_full_range_is_total(self):
+        h = HistogramSummary.from_values("a", [0.1, 0.5, 0.9], 10)
+        assert h.count_in_range(0.0, 1.0) == 3
+
+    def test_disjoint_range(self):
+        h = HistogramSummary.from_values("rate", [1.0], 10, (0.0, 10.0))
+        assert h.count_in_range(50.0, 60.0) == 0
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        h = HistogramSummary.from_values("a", [0.5], 10)
+        c = h.copy()
+        c.add_values([0.6])
+        assert h.total == 1 and c.total == 2

@@ -1,0 +1,124 @@
+"""Tests for repro.records.index (sorted-column indexes)."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, Query, RangePredicate
+from repro.records import RecordStore, Schema, categorical, numeric
+from repro.records.index import IndexedStore, SortedIndex
+
+
+@pytest.fixture
+def values():
+    return np.random.default_rng(5).random(500)
+
+
+class TestSortedIndex:
+    def test_count_matches_scan(self, values):
+        idx = SortedIndex(values)
+        for lo, hi in [(0.1, 0.3), (0.0, 1.0), (0.5, 0.5), (0.9, 0.2)]:
+            want = int(((values >= lo) & (values <= hi)).sum())
+            assert idx.count_range(lo, hi) == want
+
+    def test_rows_match_scan(self, values):
+        idx = SortedIndex(values)
+        rows = idx.rows_in_range(0.25, 0.5)
+        want = set(np.flatnonzero((values >= 0.25) & (values <= 0.5)))
+        assert set(rows.tolist()) == want
+
+    def test_empty(self):
+        idx = SortedIndex(np.array([]))
+        assert len(idx) == 0
+        assert idx.count_range(0, 1) == 0
+        assert np.isnan(idx.min_value())
+
+    def test_min_max(self, values):
+        idx = SortedIndex(values)
+        assert idx.min_value() == values.min()
+        assert idx.max_value() == values.max()
+
+    def test_duplicates(self):
+        idx = SortedIndex(np.array([0.5, 0.5, 0.5, 0.1]))
+        assert idx.count_range(0.5, 0.5) == 3
+
+
+@pytest.fixture
+def mixed():
+    schema = Schema([numeric("a"), numeric("b"), categorical("c")])
+    rng = np.random.default_rng(7)
+    n = 400
+    store = RecordStore.from_arrays(
+        schema,
+        rng.random((n, 2)),
+        [rng.choice(["x", "y", "z"], n).tolist()],
+    )
+    return schema, store
+
+
+class TestIndexedStore:
+    def test_indexes_all_numeric_by_default(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store)
+        assert ix.indexed_attributes == ["a", "b"]
+
+    def test_rejects_categorical(self, mixed):
+        _, store = mixed
+        with pytest.raises(ValueError, match="categorical"):
+            IndexedStore(store, attributes=["c"])
+
+    def test_match_rows_equal_scan(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store)
+        rng = np.random.default_rng(9)
+        for _ in range(30):
+            lo = rng.random(2) * 0.7
+            q = Query.of(
+                RangePredicate("a", lo[0], lo[0] + 0.25),
+                RangePredicate("b", lo[1], lo[1] + 0.4),
+                EqualsPredicate("c", rng.choice(["x", "y", "z", "absent"])),
+            )
+            want = set(np.flatnonzero(q.mask(store)).tolist())
+            assert set(ix.match_rows(q).tolist()) == want
+            assert ix.match_count(q) == len(want)
+
+    def test_unindexed_query_falls_back(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store, attributes=["a"])
+        q = Query.of(EqualsPredicate("c", "x"))
+        assert ix.candidate_rows(q) is None
+        want = q.match_count(store)
+        assert ix.match_count(q) == want
+
+    def test_estimated_count_upper_bounds(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store)
+        q = Query.of(
+            RangePredicate("a", 0.1, 0.3), RangePredicate("b", 0.0, 0.2)
+        )
+        assert ix.estimated_count(q) >= ix.match_count(q)
+
+    def test_rebuild_after_mutation(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store)
+        q = Query.of(RangePredicate("a", 0.999, 1.0))
+        before = ix.match_count(q)
+        store.update_numeric(0, "a", 0.9995)
+        ix.rebuild()
+        assert ix.match_count(q) == before + 1 or before == ix.match_count(q) - 1
+
+    def test_candidate_uses_most_selective_index(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store)
+        q = Query.of(
+            RangePredicate("a", 0.0, 1.0),  # everything
+            RangePredicate("b", 0.45, 0.5),  # narrow
+        )
+        rows = ix.candidate_rows(q)
+        narrow = ix.index_for("b").count_range(0.45, 0.5)
+        assert rows.size == narrow
+
+    def test_unknown_index_lookup(self, mixed):
+        _, store = mixed
+        ix = IndexedStore(store, attributes=["a"])
+        with pytest.raises(KeyError, match="not indexed"):
+            ix.index_for("b")

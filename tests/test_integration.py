@@ -1,0 +1,129 @@
+"""End-to-end integration tests across systems.
+
+These verify the evaluation's comparative claims at reduced scale: all
+three designs answer queries identically (completeness), and the paper's
+headline orderings hold (update overhead, query overhead, latency
+behaviour, storage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    build_central,
+    build_roads,
+    build_sword,
+    build_workload,
+    trial_queries,
+)
+from repro.workload import merge_stores
+
+SETTINGS = ExperimentSettings(
+    num_nodes=64, records_per_node=300, num_queries=40, runs=1, seed=13
+)
+
+
+@pytest.fixture(scope="module")
+def systems():
+    wcfg, stores = build_workload(SETTINGS, SETTINGS.seed)
+    roads = build_roads(SETTINGS, stores, SETTINGS.seed)
+    sword = build_sword(SETTINGS, stores, SETTINGS.seed)
+    central = build_central(SETTINGS, stores, SETTINGS.seed)
+    queries, clients = trial_queries(SETTINGS, wcfg, SETTINGS.seed)
+    reference = merge_stores(stores)
+    return {
+        "stores": stores,
+        "roads": roads,
+        "sword": sword,
+        "central": central,
+        "queries": queries,
+        "clients": clients,
+        "reference": reference,
+    }
+
+
+class TestCrossSystemAgreement:
+    def test_all_three_designs_agree_with_ground_truth(self, systems):
+        """The core correctness property: every design finds exactly the
+        records a global scan finds."""
+        ref = systems["reference"]
+        for q, c in zip(systems["queries"], systems["clients"]):
+            want = q.match_count(ref)
+            r = systems["roads"].execute_query(q, client_node=int(c))
+            s = systems["sword"].execute_query(q, int(c))
+            ce = systems["central"].execute_query(q, int(c))
+            assert r.total_matches == want, f"ROADS wrong on {q}"
+            assert s.total_matches == want, f"SWORD wrong on {q}"
+            assert ce.match_count == want, f"central wrong on {q}"
+
+
+class TestComparativeShapes:
+    def test_update_overhead_ordering(self, systems):
+        """ROADS is at least an order of magnitude below SWORD, and the
+        central repository beats SWORD by ~r·log n (no r-fold replication,
+        no multi-hop routing) — the Section IV-B relationships."""
+        window = SETTINGS.update_window_seconds
+        roads = systems["roads"].update_overhead(window)
+        sword = systems["sword"].update_overhead(window)
+        central = systems["central"].update_overhead(window)
+        assert roads < sword
+        assert central < sword
+        assert sword / roads > 10  # at least one order of magnitude
+
+    def test_query_overhead_ordering(self, systems):
+        roads_bytes, sword_bytes = [], []
+        for q, c in zip(systems["queries"][:25], systems["clients"][:25]):
+            roads_bytes.append(
+                systems["roads"].execute_query(q, client_node=int(c)).query_bytes
+            )
+            sword_bytes.append(systems["sword"].execute_query(q, int(c)).query_bytes)
+        assert np.mean(roads_bytes) > np.mean(sword_bytes)
+
+    def test_latency_ordering(self, systems):
+        roads_lat, sword_lat = [], []
+        for q, c in zip(systems["queries"][:25], systems["clients"][:25]):
+            roads_lat.append(
+                systems["roads"].execute_query(q, client_node=int(c)).latency
+            )
+            sword_lat.append(systems["sword"].execute_query(q, int(c)).latency)
+        assert np.mean(roads_lat) < np.mean(sword_lat)
+
+    def test_voluntary_sharing_only_in_roads(self, systems):
+        """ROADS keeps raw records at their owners; SWORD and the central
+        repository require exporting them."""
+        stores = systems["stores"]
+        # SWORD: records stored away from their owner.
+        sword = systems["sword"]
+        away = 0
+        for server in range(SETTINGS.num_nodes):
+            rows = sword.rows_stored_at(server)
+            away += int((sword.owner_of_row[rows] != server).sum())
+        assert away > 0
+        # ROADS: every origin store object is the owner's own.
+        for i, server in enumerate(systems["roads"].hierarchy.servers()):
+            owner = server.owners[0]
+            assert owner.origin is stores[server.server_id]
+
+
+class TestOverlayBenefit:
+    def test_overlay_avoids_root_for_local_queries(self, systems):
+        """With the overlay, searches need not start at the root; without
+        it every query hits the root (the paper's bottleneck argument)."""
+        roads = systems["roads"]
+        root_id = roads.hierarchy.root.server_id
+        hit_root_with, hit_root_without = 0, 0
+        for q, c in zip(systems["queries"][:20], systems["clients"][:20]):
+            o1 = roads.execute_query(q, client_node=int(c), use_overlay=True)
+            o2 = roads.execute_query(q, client_node=int(c), use_overlay=False)
+            hit_root_with += int(root_id in o1.arrivals)
+            hit_root_without += int(root_id in o2.arrivals)
+        assert hit_root_without == 20
+        assert hit_root_with < 20
+
+    def test_overlay_results_match_root_start(self, systems):
+        roads = systems["roads"]
+        for q, c in zip(systems["queries"][:15], systems["clients"][:15]):
+            a = roads.execute_query(q, client_node=int(c), use_overlay=True)
+            b = roads.execute_query(q, client_node=int(c), use_overlay=False)
+            assert a.total_matches == b.total_matches

@@ -1,0 +1,120 @@
+"""Unit tests for repro.sim.metrics and repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    MAINTENANCE,
+    QUERY,
+    UPDATE,
+    MetricsCollector,
+    SeedSequenceFactory,
+)
+
+
+class TestMetricsCollector:
+    def test_record_and_read(self):
+        m = MetricsCollector()
+        m.record_message(UPDATE, 100)
+        m.record_message(UPDATE, 50)
+        m.record_message(QUERY, 10)
+        assert m.bytes(UPDATE) == 150
+        assert m.messages(UPDATE) == 2
+        assert m.bytes(QUERY) == 10
+        assert m.total_bytes == 160
+        assert m.total_messages == 3
+
+    def test_unknown_category_zero(self):
+        assert MetricsCollector().bytes("nothing") == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().record_message(UPDATE, -1)
+
+    def test_latency_stats(self):
+        m = MetricsCollector()
+        for v in (0.1, 0.2, 0.3, 0.4):
+            m.record_latency(v)
+        assert m.mean_latency() == pytest.approx(0.25)
+        assert m.percentile_latency(90) == pytest.approx(0.37, abs=0.01)
+
+    def test_latency_empty(self):
+        m = MetricsCollector()
+        assert m.mean_latency() == 0.0
+        assert m.percentile_latency(90) == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().record_latency(-0.1)
+
+    def test_reset_all(self):
+        m = MetricsCollector()
+        m.record_message(UPDATE, 100)
+        m.record_latency(0.5)
+        m.reset()
+        assert m.total_bytes == 0
+        assert m.mean_latency() == 0.0
+
+    def test_reset_selected(self):
+        m = MetricsCollector()
+        m.record_message(UPDATE, 100)
+        m.record_message(QUERY, 50)
+        m.reset([UPDATE])
+        assert m.bytes(UPDATE) == 0
+        assert m.bytes(QUERY) == 50
+
+    def test_snapshot_is_copy(self):
+        m = MetricsCollector()
+        m.record_message(MAINTENANCE, 7)
+        snap = m.snapshot()
+        m.record_message(MAINTENANCE, 7)
+        assert snap[MAINTENANCE] == 7
+
+    def test_summary_structure(self):
+        m = MetricsCollector()
+        m.record_message(UPDATE, 10)
+        m.record_latency(1.0)
+        s = m.summary()
+        assert s["bytes"][UPDATE] == 10
+        assert s["latency"]["count"] == 1
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        f1 = SeedSequenceFactory(42)
+        f2 = SeedSequenceFactory(42)
+        a = f1.fresh_generator("x").random(5)
+        b = f2.fresh_generator("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_names_different_streams(self):
+        f = SeedSequenceFactory(42)
+        a = f.fresh_generator("x").random(5)
+        b = f.fresh_generator("y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = SeedSequenceFactory(1).fresh_generator("x").random(5)
+        b = SeedSequenceFactory(2).fresh_generator("x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_cached(self):
+        f = SeedSequenceFactory(1)
+        assert f.generator("x") is f.generator("x")
+
+    def test_fresh_generator_restarts(self):
+        f = SeedSequenceFactory(1)
+        a = f.fresh_generator("x").random(3)
+        b = f.fresh_generator("x").random(3)
+        assert np.allclose(a, b)
+
+    def test_spawn_is_disjoint(self):
+        f = SeedSequenceFactory(1)
+        child = f.spawn("child")
+        a = f.fresh_generator("x").random(3)
+        b = child.fresh_generator("x").random(3)
+        assert not np.allclose(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(-1)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.summaries.multires."""
+
+import numpy as np
+import pytest
+
+from repro.query import RangePredicate
+from repro.summaries import (
+    HistogramSummary,
+    MultiResolutionHistogram,
+    SummaryMergeError,
+    coarsen,
+)
+
+
+class TestCoarsen:
+    def test_counts_preserved(self):
+        h = HistogramSummary.from_values("a", [0.05, 0.15, 0.95], 10)
+        c = coarsen(h, 2)
+        assert c.buckets == 5
+        assert c.total == h.total
+        assert c.counts[0] == 2  # 0.05 and 0.15 land in the merged bucket
+
+    def test_invalid_factor(self):
+        h = HistogramSummary("a", 10)
+        with pytest.raises(ValueError):
+            coarsen(h, 1)
+
+    def test_indivisible(self):
+        h = HistogramSummary("a", 10)
+        with pytest.raises(ValueError, match="divisible"):
+            coarsen(h, 3)
+
+    def test_coarsening_never_loses_matches(self):
+        rng = np.random.default_rng(9)
+        values = rng.random(100)
+        h = HistogramSummary.from_values("a", values, 64)
+        c = coarsen(coarsen(h))
+        for _ in range(100):
+            lo = rng.random() * 0.9
+            pred = RangePredicate("a", lo, min(1.0, lo + 0.05))
+            if h.may_match(pred):
+                assert c.may_match(pred)
+
+
+class TestPyramid:
+    def test_construction(self):
+        mr = MultiResolutionHistogram("a", 64, levels=4)
+        assert mr.levels == 4
+        assert [mr.level(i).buckets for i in range(4)] == [64, 32, 16, 8]
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MultiResolutionHistogram("a", 100, levels=4)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValueError):
+            MultiResolutionHistogram("a", 64, levels=0)
+
+    def test_all_levels_summarize_same_values(self):
+        mr = MultiResolutionHistogram.from_values(
+            "a", [0.1, 0.2, 0.9], 64, levels=3
+        )
+        assert all(mr.level(i).total == 3 for i in range(3))
+
+    def test_may_match_uses_finest(self):
+        mr = MultiResolutionHistogram.from_values("a", [0.5], 64, levels=3)
+        # A range inside the same coarse bucket but a different fine
+        # bucket: the fine level may still prune.
+        assert not mr.may_match(RangePredicate("a", 0.95, 0.99))
+        assert mr.may_match(RangePredicate("a", 0.49, 0.51))
+
+    def test_merge(self):
+        a = MultiResolutionHistogram.from_values("a", [0.1], 64, levels=3)
+        b = MultiResolutionHistogram.from_values("a", [0.9], 64, levels=3)
+        m = a.merge(b)
+        assert m.level(0).total == 2
+        assert m.level(2).total == 2
+
+    def test_merge_incompatible(self):
+        a = MultiResolutionHistogram("a", 64, levels=3)
+        b = MultiResolutionHistogram("a", 64, levels=2)
+        with pytest.raises(SummaryMergeError):
+            a.merge(b)
+
+    def test_copy_independent(self):
+        a = MultiResolutionHistogram.from_values("a", [0.5], 64, levels=2)
+        c = a.copy()
+        c.add_values([0.6])
+        assert a.level(0).total == 1 and c.level(0).total == 2
+
+
+class TestSizing:
+    def test_coarser_levels_cheaper_dense(self):
+        mr = MultiResolutionHistogram("a", 64, levels=3, encoding="dense")
+        sizes = [mr.size_at_level(i) for i in range(3)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_best_level_within_budget(self):
+        mr = MultiResolutionHistogram("a", 64, levels=3, encoding="dense")
+        big = mr.size_at_level(0)
+        assert mr.best_level_within(big) == 0
+        assert mr.best_level_within(mr.size_at_level(2)) == 2
+        # Hopeless budget falls back to the coarsest level.
+        assert mr.best_level_within(1) == 2

@@ -1,0 +1,150 @@
+"""Unit tests for repro.net (delay space and transport)."""
+
+import numpy as np
+import pytest
+
+from repro.net import DELAY_SPACE_DIMENSIONS, DelaySpace, Network
+from repro.sim import QUERY, UPDATE, MetricsCollector, Simulator
+
+
+def make_space(n=16, **kwargs):
+    return DelaySpace(n, np.random.default_rng(0), **kwargs)
+
+
+class TestDelaySpace:
+    def test_five_dimensional_by_default(self):
+        ds = make_space()
+        assert DELAY_SPACE_DIMENSIONS == 5
+        assert ds.coordinates.shape == (16, 5)
+
+    def test_symmetric(self):
+        ds = make_space()
+        for a, b in [(0, 1), (3, 9), (14, 2)]:
+            assert ds.latency_ms(a, b) == pytest.approx(ds.latency_ms(b, a))
+
+    def test_zero_self_latency(self):
+        ds = make_space()
+        assert ds.latency_ms(5, 5) == 0.0
+
+    def test_positive_off_diagonal(self):
+        ds = make_space()
+        assert all(
+            ds.latency_ms(a, b) > 0 for a in range(4) for b in range(4) if a != b
+        )
+
+    def test_base_offset_floor(self):
+        ds = make_space(base_ms=50.0, jitter_ms=0.0)
+        assert ds.latency_ms(0, 1) >= 50.0
+
+    def test_latency_seconds(self):
+        ds = make_space()
+        assert ds.latency(0, 1) == pytest.approx(ds.latency_ms(0, 1) / 1000.0)
+
+    def test_matrix_agrees_with_pointwise(self):
+        ds = make_space(n=8)
+        m = ds.matrix_ms()
+        for a in range(8):
+            for b in range(8):
+                assert m[a, b] == pytest.approx(ds.latency_ms(a, b))
+
+    def test_mean_latency_scale_calibration(self):
+        # With default calibration mean one-way should be order-100 ms.
+        ds = DelaySpace(64, np.random.default_rng(1))
+        assert 60 <= ds.mean_latency_ms() <= 160
+
+    def test_nearest(self):
+        ds = make_space()
+        cands = [3, 7, 11]
+        best = ds.nearest(0, cands)
+        assert best in cands
+        assert all(
+            ds.latency_ms(0, best) <= ds.latency_ms(0, c) for c in cands
+        )
+
+    def test_nearest_empty(self):
+        with pytest.raises(ValueError):
+            make_space().nearest(0, [])
+
+    def test_index_bounds(self):
+        ds = make_space(4)
+        with pytest.raises(IndexError):
+            ds.latency_ms(0, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DelaySpace(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            make_space(scale_ms=-1)
+
+
+class TestNetwork:
+    def _net(self):
+        sim = Simulator()
+        ds = make_space(8, jitter_ms=0.0)
+        net = Network(sim, ds, MetricsCollector())
+        return sim, ds, net
+
+    def test_delivery_after_latency(self):
+        sim, ds, net = self._net()
+        got = []
+        net.register(1, lambda m: got.append((m.payload, sim.now)))
+        net.send(0, 1, QUERY, 64, payload="hi")
+        sim.run()
+        payload, t = got[0]
+        assert payload == "hi"
+        assert t == pytest.approx(ds.latency(0, 1) + net.processing_delay)
+
+    def test_bytes_accounted(self):
+        sim, ds, net = self._net()
+        net.send(0, 1, QUERY, 64)
+        net.send(0, 2, UPDATE, 100)
+        assert net.metrics.bytes(QUERY) == 64
+        assert net.metrics.bytes(UPDATE) == 100
+
+    def test_on_delivery_override(self):
+        sim, ds, net = self._net()
+        got = []
+        net.register(1, lambda m: got.append("handler"))
+        net.send(0, 1, QUERY, 1, on_delivery=lambda m: got.append("override"))
+        sim.run()
+        assert got == ["override"]
+
+    def test_failed_destination_drops(self):
+        sim, ds, net = self._net()
+        got = []
+        net.register(1, lambda m: got.append(m))
+        net.fail_node(1)
+        net.send(0, 1, QUERY, 64)
+        sim.run()
+        assert got == []
+        assert net.dropped == 1
+        # Bytes still hit the wire from the (healthy) sender.
+        assert net.metrics.bytes(QUERY) == 64
+
+    def test_failed_sender_transmits_nothing(self):
+        sim, ds, net = self._net()
+        net.fail_node(0)
+        net.send(0, 1, QUERY, 64)
+        sim.run()
+        assert net.metrics.bytes(QUERY) == 0
+
+    def test_recovered_node_receives(self):
+        sim, ds, net = self._net()
+        got = []
+        net.register(1, lambda m: got.append(m))
+        net.fail_node(1)
+        net.recover_node(1)
+        net.send(0, 1, QUERY, 64)
+        sim.run()
+        assert len(got) == 1
+
+    def test_unregistered_destination_is_noop(self):
+        sim, ds, net = self._net()
+        net.send(0, 3, QUERY, 64)
+        sim.run()  # no handler: message silently discarded
+
+    def test_is_failed(self):
+        _, _, net = self._net()
+        net.fail_node(2)
+        assert net.is_failed(2)
+        assert not net.is_failed(3)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.query.predicate."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, RangePredicate, greater_than, less_than
+
+
+class TestRangePredicate:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError, match="lo"):
+            RangePredicate("a", 0.9, 0.1)
+
+    def test_length(self):
+        assert RangePredicate("a", 0.2, 0.7).length == pytest.approx(0.5)
+
+    def test_matches_value(self):
+        p = RangePredicate("a", 0.2, 0.7)
+        assert p.matches_value(0.2)
+        assert p.matches_value(0.7)
+        assert not p.matches_value(0.71)
+
+    def test_mask(self, unit_store):
+        p = RangePredicate("a", 0.0, 0.5)
+        mask = p.mask(unit_store)
+        assert mask.sum() == (unit_store.numeric_column("a") <= 0.5).sum()
+
+    def test_size_bytes(self):
+        assert RangePredicate("a", 0, 1).size_bytes == 24
+
+    def test_str(self):
+        assert "0.2 <= a <= 0.7" in str(RangePredicate("a", 0.2, 0.7))
+
+
+class TestEqualsPredicate:
+    def test_matches_value(self):
+        p = EqualsPredicate("enc", "MPEG2")
+        assert p.matches_value("MPEG2")
+        assert not p.matches_value("H264")
+
+    def test_mask(self, mixed_store):
+        p = EqualsPredicate("type", "camera")
+        mask = p.mask(mixed_store)
+        col = mixed_store.categorical_column("type")
+        assert mask.sum() == col.count("camera")
+
+    def test_size_scales_with_value(self):
+        short = EqualsPredicate("e", "ab")
+        long = EqualsPredicate("e", "abcdefgh")
+        assert long.size_bytes > short.size_bytes
+
+
+class TestComparisonHelpers:
+    def test_greater_than_excludes_threshold(self):
+        p = greater_than("rate", 150.0, 1000.0)
+        assert not p.matches_value(150.0)
+        assert p.matches_value(150.0001)
+        assert p.matches_value(1000.0)
+
+    def test_less_than_excludes_threshold(self):
+        p = less_than("rate", 150.0)
+        assert not p.matches_value(150.0)
+        assert p.matches_value(149.9999)
+        assert p.matches_value(0.0)
+
+    def test_paper_example_semantics(self, unit_store):
+        """rate > t is true iff some value beyond t exists."""
+        col = unit_store.numeric_column("a")
+        t = float(np.median(col))
+        p = greater_than("a", t)
+        assert p.mask(unit_store).sum() == (col > t).sum()

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+The library's correctness rests on a handful of algebraic properties:
+summaries merge like a commutative monoid, never produce false negatives,
+coarsening only widens answers, Chord routing always terminates within
+its hop bound, and the balanced join always yields a well-formed tree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import Server, build_hierarchy
+from repro.overlay import coverage_ids, replication_sources
+from repro.query import EqualsPredicate, Query, RangePredicate
+from repro.records import RecordStore, Schema, numeric
+from repro.summaries import (
+    BloomFilterSummary,
+    HistogramSummary,
+    ValueSetSummary,
+    coarsen,
+)
+from repro.sword import ChordRouter, LocalityHash
+
+
+unit_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(unit_floats, min_size=0, max_size=60)
+bucket_counts = st.sampled_from([1, 2, 7, 16, 64, 100, 1000])
+
+
+class TestHistogramProperties:
+    @given(values=value_lists, buckets=bucket_counts, lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=150, deadline=None)
+    def test_no_false_negatives(self, values, buckets, lo, hi):
+        assume(lo <= hi)
+        h = HistogramSummary.from_values("a", values, buckets)
+        arr = np.asarray(values)
+        actually_matches = bool(
+            arr.size and ((arr >= lo) & (arr <= hi)).any()
+        )
+        if actually_matches:
+            assert h.may_match(RangePredicate("a", lo, hi))
+
+    @given(a=value_lists, b=value_lists, buckets=bucket_counts)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_commutative(self, a, b, buckets):
+        ha = HistogramSummary.from_values("x", a, buckets)
+        hb = HistogramSummary.from_values("x", b, buckets)
+        assert ha.merge(hb) == hb.merge(ha)
+
+    @given(a=value_lists, b=value_lists, c=value_lists, buckets=bucket_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, a, b, c, buckets):
+        ha = HistogramSummary.from_values("x", a, buckets)
+        hb = HistogramSummary.from_values("x", b, buckets)
+        hc = HistogramSummary.from_values("x", c, buckets)
+        assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+
+    @given(values=value_lists, buckets=bucket_counts)
+    @settings(max_examples=80, deadline=None)
+    def test_empty_is_identity(self, values, buckets):
+        h = HistogramSummary.from_values("x", values, buckets)
+        empty = HistogramSummary("x", buckets)
+        assert h.merge(empty) == h
+
+    @given(values=value_lists, buckets=st.sampled_from([8, 16, 64]),
+           lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_union(self, values, buckets, lo, hi):
+        """Summarizing the union == merging the summaries."""
+        assume(lo <= hi)
+        mid = len(values) // 2
+        ha = HistogramSummary.from_values("x", values[:mid], buckets)
+        hb = HistogramSummary.from_values("x", values[mid:], buckets)
+        hu = HistogramSummary.from_values("x", values, buckets)
+        assert ha.merge(hb) == hu
+
+    @given(values=value_lists, lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_coarsening_only_widens(self, values, lo, hi):
+        assume(lo <= hi)
+        fine = HistogramSummary.from_values("x", values, 64)
+        coarse = coarsen(coarsen(fine))
+        pred = RangePredicate("x", lo, hi)
+        if fine.may_match(pred):
+            assert coarse.may_match(pred)
+
+    @given(values=value_lists, buckets=bucket_counts,
+           lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_count_in_range_upper_bounds_truth(self, values, buckets, lo, hi):
+        assume(lo <= hi)
+        h = HistogramSummary.from_values("x", values, buckets)
+        arr = np.asarray(values)
+        exact = int(((arr >= lo) & (arr <= hi)).sum()) if arr.size else 0
+        assert h.count_in_range(lo, hi) >= exact
+
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+name_lists = st.lists(names, min_size=0, max_size=40)
+
+
+class TestSetAndBloomProperties:
+    @given(a=name_lists, b=name_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_valueset_merge_is_union(self, a, b):
+        sa = ValueSetSummary.from_values("e", a)
+        sb = ValueSetSummary.from_values("e", b)
+        assert sa.merge(sb).values == frozenset(a) | frozenset(b)
+
+    @given(values=name_lists, probe=names)
+    @settings(max_examples=80, deadline=None)
+    def test_valueset_exact(self, values, probe):
+        s = ValueSetSummary.from_values("e", values)
+        assert s.may_match(EqualsPredicate("e", probe)) == (probe in values)
+
+    @given(values=name_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_bloom_no_false_negatives(self, values):
+        f = BloomFilterSummary.from_values("e", values, 512, 3)
+        for v in values:
+            assert f.contains(v)
+
+    @given(a=name_lists, b=name_lists, probe=names)
+    @settings(max_examples=60, deadline=None)
+    def test_bloom_merge_superset(self, a, b, probe):
+        """Anything matched by either input matches the merge."""
+        fa = BloomFilterSummary.from_values("e", a, 512, 3)
+        fb = BloomFilterSummary.from_values("e", b, 512, 3)
+        merged = fa.merge(fb)
+        if fa.contains(probe) or fb.contains(probe):
+            assert merged.contains(probe)
+
+
+class TestChordProperties:
+    @given(n=st.integers(min_value=1, max_value=300),
+           a=st.integers(min_value=0, max_value=299),
+           b=st.integers(min_value=0, max_value=299))
+    @settings(max_examples=150, deadline=None)
+    def test_path_terminates_at_destination(self, n, a, b):
+        assume(a < n and b < n)
+        r = ChordRouter(n)
+        path = r.path(a, b)
+        assert len(path) == r.hops(a, b)
+        assert (path[-1] if path else a) == b
+        assert len(path) <= max(1, int(np.ceil(np.log2(n))) + 1)
+
+    @given(n=st.integers(min_value=2, max_value=200),
+           r=st.integers(min_value=1, max_value=16),
+           v=unit_floats)
+    @settings(max_examples=120, deadline=None)
+    def test_responsible_server_in_declared_ring(self, n, r, v):
+        assume(n >= r)
+        h = LocalityHash(n, r)
+        for ring in range(r):
+            dest = int(h.responsible(ring, v))
+            assert dest % r == ring
+
+    @given(n=st.integers(min_value=4, max_value=120),
+           r=st.integers(min_value=1, max_value=8),
+           lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=120, deadline=None)
+    def test_segment_covers_range(self, n, r, lo, hi):
+        assume(n >= r and lo <= hi)
+        h = LocalityHash(n, r)
+        seg = set(int(s) for s in h.segment(0, lo, hi))
+        for v in np.linspace(lo, hi, 7):
+            assert int(h.responsible(0, float(v))) in seg
+
+
+class TestHierarchyProperties:
+    @given(n=st.integers(min_value=1, max_value=80),
+           k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_join_builds_valid_tree(self, n, k):
+        h = build_hierarchy(Server(i, max_children=k) for i in range(n))
+        h.check_invariants()
+        assert len(h) == n
+
+    @given(n=st.integers(min_value=1, max_value=60),
+           k=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_depth_logarithmic(self, n, k):
+        h = build_hierarchy(Server(i, max_children=k) for i in range(n))
+        # levels L satisfies sum_{i<L} k^(i-1) capacity >= n
+        levels = h.levels
+        capacity = sum(k**i for i in range(levels))
+        assert capacity >= n
+
+    @given(n=st.integers(min_value=1, max_value=60),
+           k=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_overlay_coverage_total(self, n, k):
+        """Replication sources + own subtree cover the whole hierarchy
+        from every server — the overlay's defining invariant."""
+        h = build_hierarchy(Server(i, max_children=k) for i in range(n))
+        all_ids = {s.server_id for s in h}
+        for server in h:
+            assert coverage_ids(server) == all_ids
+
+    @given(n=st.integers(min_value=2, max_value=60),
+           k=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_cover_partition(self, n, k):
+        """Own subtree + sibling branches + ancestor-sibling branches +
+        ancestors partition the servers (no double-visits in routing)."""
+        h = build_hierarchy(Server(i, max_children=k) for i in range(n))
+        for server in h:
+            pieces = [
+                {x.server_id for x in server.iter_subtree()}
+            ]
+            for src in replication_sources(server):
+                if src.server_id in server.root_path:
+                    pieces.append({src.server_id})  # ancestor: local only
+                else:
+                    pieces.append(
+                        {x.server_id for x in src.iter_subtree()}
+                    )
+            total = sum(len(p) for p in pieces)
+            union = set().union(*pieces)
+            assert total == len(union), "cover pieces overlap"
+            assert union == {s.server_id for s in h}

@@ -1,0 +1,218 @@
+"""Tests for repro.prototype (backend and response-time model)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentSettings,
+    build_central,
+    build_roads,
+    build_workload,
+)
+from repro.prototype import (
+    BackendCostModel,
+    CentralResponder,
+    RecordBackend,
+    RoadsResponder,
+    summarize_responses,
+)
+from repro.query import Query, RangePredicate
+from repro.workload import generate_queries, merge_stores
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return ExperimentSettings.smoke()
+
+
+@pytest.fixture(scope="module")
+def built(setting):
+    wcfg, stores = build_workload(setting, seed=1)
+    roads = build_roads(setting, stores, seed=1)
+    central = build_central(setting, stores, seed=1)
+    return wcfg, stores, roads, central
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendCostModel(per_record_retrieval_seconds=-1)
+        with pytest.raises(ValueError):
+            BackendCostModel(bandwidth_bytes_per_second=0)
+
+    def test_retrieval_linear_in_matches(self):
+        m = BackendCostModel(
+            per_record_retrieval_seconds=1e-4, fixed_overhead_seconds=0.0
+        )
+        assert m.retrieval_seconds(100) == pytest.approx(0.01)
+        assert m.retrieval_seconds(0) == 0.0
+
+    def test_transfer(self):
+        m = BackendCostModel(bandwidth_bytes_per_second=1e6)
+        assert m.transfer_seconds(1_000_000) == pytest.approx(1.0)
+
+
+class TestRecordBackend:
+    def test_search_counts_match_query(self, built):
+        _, stores, _, _ = built
+        backend = RecordBackend(stores[0])
+        q = Query.of(RangePredicate("u0", 0.0, 0.5))
+        result = backend.search(q)
+        assert result.match_count == q.match_count(stores[0])
+        assert result.search_seconds >= 0.0
+        assert result.result_bytes == (
+            result.match_count * stores[0].schema.record_size_bytes
+        )
+
+    def test_server_seconds_dominated_by_retrieval(self, built):
+        _, stores, _, _ = built
+        cost = BackendCostModel(per_record_retrieval_seconds=1.0)
+        backend = RecordBackend(stores[0], cost)
+        q = Query.of(RangePredicate("u0", 0.0, 1.0))
+        result = backend.search(q)
+        assert result.server_seconds >= result.match_count * 1.0
+
+
+class TestResponders:
+    def test_roads_response_counts_all_matches(self, built):
+        wcfg, stores, roads, _ = built
+        reference = merge_stores(stores)
+        responder = RoadsResponder(roads)
+        q = generate_queries(wcfg, num_queries=3, dimensions=2)[0]
+        out = responder.respond(q, client_node=0)
+        assert out.match_count == q.match_count(reference)
+        assert out.response_seconds >= out.forwarding_seconds
+
+    def test_central_response_counts_all_matches(self, built):
+        wcfg, stores, _, central = built
+        reference = merge_stores(stores)
+        responder = CentralResponder(central)
+        q = generate_queries(wcfg, num_queries=3, dimensions=2)[1]
+        out = responder.respond(q, client_node=0)
+        assert out.match_count == q.match_count(reference)
+        assert out.response_seconds >= out.forwarding_seconds
+
+    def test_central_beats_roads_on_selective_queries(self, built):
+        """The Figure 11 low-selectivity regime."""
+        wcfg, stores, roads, central = built
+        r_resp = RoadsResponder(roads)
+        c_resp = CentralResponder(central)
+        queries = generate_queries(wcfg, num_queries=8)
+        r = np.mean([r_resp.respond(q, 0).response_seconds for q in queries])
+        c = np.mean([c_resp.respond(q, 0).response_seconds for q in queries])
+        assert c < r
+
+    def test_roads_parallelism_wins_at_high_retrieval_cost(self, built):
+        """The Figure 11 high-selectivity regime: crank per-record cost
+        so serial retrieval at the repository dominates."""
+        wcfg, stores, roads, central = built
+        cost = BackendCostModel(per_record_retrieval_seconds=5e-3)
+        r_resp = RoadsResponder(roads, cost)
+        c_resp = CentralResponder(central, cost)
+        # an unselective query matching plenty of records
+        q = Query.of(
+            RangePredicate("u0", 0.0, 1.0), RangePredicate("u1", 0.0, 1.0)
+        )
+        r = r_resp.respond(q, 0).response_seconds
+        c = c_resp.respond(q, 0).response_seconds
+        assert r < c
+
+
+class TestSummaries:
+    def test_summarize_responses(self, built):
+        wcfg, _, roads, _ = built
+        responder = RoadsResponder(roads)
+        outs = [
+            responder.respond(q, 0)
+            for q in generate_queries(wcfg, num_queries=5)
+        ]
+        s = summarize_responses(outs)
+        assert s["queries"] == 5
+        assert s["p90_seconds"] >= s["mean_seconds"] * 0.5
+
+    def test_summarize_empty(self):
+        s = summarize_responses([])
+        assert s["queries"] == 0 and s["mean_seconds"] == 0.0
+
+
+class TestSwordResponder:
+    def test_counts_match_ground_truth(self, built):
+        from repro.prototype import SwordResponder
+        from repro.experiments import build_sword
+
+        wcfg, stores, _, _ = built
+        import repro.experiments as ex
+
+        setting = ExperimentSettings.smoke()
+        sword = build_sword(setting, stores, seed=1)
+        responder = SwordResponder(sword)
+        reference = merge_stores(stores)
+        q = generate_queries(wcfg, num_queries=3, dimensions=2)[0]
+        out = responder.respond(q, client_node=0)
+        assert out.match_count == q.match_count(reference)
+        assert out.response_seconds >= out.forwarding_seconds
+
+    def test_multi_hop_worst_case_exceeds_central(self, built):
+        """SWORD's multi-hop routing shows in the tail: when the client
+        is far from the segment, its response exceeds the central
+        repository's single round trip (a lucky client co-located with
+        the segment head can beat it — hence tail, not mean)."""
+        from repro.prototype import CentralResponder, SwordResponder
+        from repro.experiments import build_sword
+
+        wcfg, stores, _, central = built
+        setting = ExperimentSettings.smoke()
+        sword = build_sword(setting, stores, seed=1)
+        s_resp = SwordResponder(sword)
+        c_resp = CentralResponder(central)
+        queries = generate_queries(wcfg, num_queries=6)
+        clients = range(6)
+        s_times = [
+            s_resp.respond(q, c).response_seconds
+            for q in queries
+            for c in clients
+        ]
+        c_times = [
+            c_resp.respond(q, c).response_seconds
+            for q in queries
+            for c in clients
+        ]
+        assert np.percentile(s_times, 90) > np.percentile(c_times, 90)
+
+
+class TestIndexedBackend:
+    def test_indexed_counts_equal_scan(self, built):
+        wcfg, stores, _, _ = built
+        scan = RecordBackend(stores[0], indexed=False)
+        idx = RecordBackend(stores[0], indexed=True)
+        for q in generate_queries(wcfg, num_queries=10, dimensions=3):
+            assert idx.search(q).match_count == scan.search(q).match_count
+
+    def test_indexed_faster_on_large_selective_queries(self):
+        """On a big store with a selective range, binary search beats
+        the full scan (measured, not modelled)."""
+        import numpy as np
+        from repro.records import RecordStore, Schema, numeric
+
+        schema = Schema([numeric(f"a{i}") for i in range(8)])
+        rng = np.random.default_rng(0)
+        store = RecordStore.from_arrays(schema, rng.random((400_000, 8)), [])
+        scan = RecordBackend(store, indexed=False)
+        idx = RecordBackend(store, indexed=True)
+        q = Query.of(RangePredicate("a0", 0.5, 0.5005))
+        # warm both paths, then time
+        scan.search(q), idx.search(q)
+        t_scan = min(scan.search(q).search_seconds for _ in range(3))
+        t_idx = min(idx.search(q).search_seconds for _ in range(3))
+        assert idx.search(q).match_count == scan.search(q).match_count
+        assert t_idx < t_scan
+
+    def test_reindex_after_mutation(self, built):
+        _, stores, _, _ = built
+        idx = RecordBackend(stores[1], indexed=True)
+        q = Query.of(RangePredicate("u0", 0.0, 1.0))
+        before = idx.search(q).match_count
+        assert before == len(stores[1])
+        stores[1].update_numeric(0, "u0", 0.123)
+        idx.reindex()
+        assert idx.search(q).match_count == before

@@ -1,0 +1,95 @@
+"""Unit tests for repro.query.query."""
+
+import numpy as np
+import pytest
+
+from repro.query import EqualsPredicate, Query, RangePredicate
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one predicate"):
+            Query(())
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Query.of(RangePredicate("a", 0, 0.5), RangePredicate("a", 0.5, 1))
+
+    def test_of(self):
+        q = Query.of(RangePredicate("a", 0, 1), EqualsPredicate("c", "x"))
+        assert q.dimensions == 2
+        assert q.attributes == ["a", "c"]
+
+    def test_unique_ids(self):
+        a = Query.of(RangePredicate("a", 0, 1))
+        b = Query.of(RangePredicate("a", 0, 1))
+        assert a.query_id != b.query_id
+
+    def test_requester(self):
+        q = Query.of(RangePredicate("a", 0, 1), requester="org-1")
+        assert q.requester == "org-1"
+        q2 = q.with_requester("org-2")
+        assert q2.requester == "org-2"
+        assert q2.query_id == q.query_id
+
+
+class TestStructure:
+    def test_predicate_on(self):
+        q = Query.of(RangePredicate("a", 0, 1), EqualsPredicate("c", "x"))
+        assert q.predicate_on("a").attribute == "a"
+        assert q.predicate_on("zz") is None
+
+    def test_partition_by_kind(self):
+        q = Query.of(RangePredicate("a", 0, 1), EqualsPredicate("c", "x"))
+        assert len(q.range_predicates()) == 1
+        assert len(q.equals_predicates()) == 1
+
+    def test_str_is_conjunction(self):
+        q = Query.of(RangePredicate("a", 0, 1), EqualsPredicate("c", "x"))
+        assert " AND " in str(q)
+
+    def test_size_grows_with_dimensions(self):
+        q2 = Query.of(*(RangePredicate(f"a{i}", 0, 1) for i in range(2)))
+        q8 = Query.of(*(RangePredicate(f"a{i}", 0, 1) for i in range(8)))
+        assert q8.size_bytes > q2.size_bytes
+        # linear growth: header + 24/dim
+        assert q8.size_bytes - q2.size_bytes == 6 * 24
+
+
+class TestEvaluation:
+    def test_mask_conjunction(self, unit_store):
+        q = Query.of(
+            RangePredicate("a", 0.0, 0.5), RangePredicate("b", 0.5, 1.0)
+        )
+        mask = q.mask(unit_store)
+        a = unit_store.numeric_column("a")
+        b = unit_store.numeric_column("b")
+        assert np.array_equal(mask, (a <= 0.5) & (b >= 0.5))
+
+    def test_match_count_and_select(self, unit_store):
+        q = Query.of(RangePredicate("a", 0.0, 0.3))
+        assert q.match_count(unit_store) == len(q.select(unit_store))
+
+    def test_empty_store(self, unit_schema):
+        from repro.records import RecordStore
+
+        st = RecordStore(unit_schema)
+        q = Query.of(RangePredicate("a", 0, 1))
+        assert q.match_count(st) == 0
+        assert q.mask(st).shape == (0,)
+
+    def test_matches_record(self, unit_store):
+        rec = unit_store.record_at(0)
+        q = Query.of(RangePredicate("a", rec["a"], rec["a"]))
+        assert q.matches_record(rec)
+        q2 = Query.of(RangePredicate("a", rec["a"] + 0.001, 1.0))
+        assert not q2.matches_record(rec) or rec["a"] >= rec["a"] + 0.001
+
+    def test_mask_agrees_with_per_record(self, mixed_store):
+        q = Query.of(
+            RangePredicate("rate", 100, 700),
+            EqualsPredicate("type", "camera"),
+        )
+        mask = q.mask(mixed_store)
+        for i in range(len(mixed_store)):
+            assert mask[i] == q.matches_record(mixed_store.record_at(i))

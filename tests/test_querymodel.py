@@ -1,0 +1,118 @@
+"""Tests for the analytical query-forwarding model, including validation
+against the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.querymodel import (
+    QueryCostParams,
+    branch_match_probability,
+    expected_contacts,
+    expected_query_bytes,
+    leaf_match_probability_from_dims,
+    levels,
+    measured_dimension_probabilities,
+    subtree_sizes,
+)
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import ResourceSummary, SummaryConfig
+from repro.workload import WorkloadConfig, generate_node_stores, generate_queries
+
+
+class TestModelPieces:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            QueryCostParams(0, 8, 0.1)
+        with pytest.raises(ValueError):
+            QueryCostParams(10, 1, 0.1)
+        with pytest.raises(ValueError):
+            QueryCostParams(10, 8, 1.5)
+
+    def test_levels_matches_capacity(self):
+        assert levels(QueryCostParams(1, 8, 0.1)) == 1
+        assert levels(QueryCostParams(9, 8, 0.1)) == 2
+        assert levels(QueryCostParams(73, 8, 0.1)) == 3
+        assert levels(QueryCostParams(74, 8, 0.1)) == 4
+
+    def test_subtree_sizes_shrink_by_degree(self):
+        sizes = subtree_sizes(QueryCostParams(320, 8, 0.1))
+        assert sizes[0] == 320
+        for a, b in zip(sizes, sizes[1:]):
+            # each level divides by the degree, floored at one server
+            assert b == pytest.approx(max(1, a / 8), rel=0.2)
+
+    def test_branch_match_probability_limits(self):
+        assert branch_match_probability(0.0, 100) == 0.0
+        assert branch_match_probability(1.0, 1) == 1.0
+        assert branch_match_probability(0.1, 10**6) == pytest.approx(1.0)
+        # monotone in subtree size
+        assert branch_match_probability(0.05, 50) > branch_match_probability(
+            0.05, 5
+        )
+
+    def test_expected_contacts_bounds(self):
+        p = QueryCostParams(320, 8, 0.0)
+        assert expected_contacts(p) == 0.0
+        p = QueryCostParams(320, 8, 1.0)
+        assert expected_contacts(p) == pytest.approx(320, rel=0.01)
+
+    def test_expected_contacts_monotone_in_p(self):
+        lo = expected_contacts(QueryCostParams(320, 8, 0.02))
+        hi = expected_contacts(QueryCostParams(320, 8, 0.2))
+        assert hi > lo
+
+    def test_expected_bytes_scale(self):
+        p = QueryCostParams(320, 8, 0.1)
+        b = expected_query_bytes(p, query_size_bytes=160)
+        assert b == pytest.approx(expected_contacts(p) * 192)
+
+    def test_leaf_probability_product(self):
+        assert leaf_match_probability_from_dims([0.5, 0.5]) == 0.25
+        assert leaf_match_probability_from_dims([]) == 1.0
+
+
+class TestValidationAgainstSimulation:
+    """The model should land within a factor ~2 of the simulator."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        n = 96
+        wcfg = WorkloadConfig(num_nodes=n, records_per_node=200, seed=11)
+        stores = generate_node_stores(wcfg)
+        cfg = SummaryConfig(histogram_buckets=1000)
+        system = RoadsSystem.build(
+            RoadsConfig(
+                num_nodes=n, records_per_node=200, max_children=8,
+                summary=cfg, seed=11,
+            ),
+            stores,
+        )
+        queries = generate_queries(wcfg, num_queries=40)
+        summaries = [
+            ResourceSummary.from_store(s, cfg) for s in stores
+        ]
+        dim_probs = measured_dimension_probabilities(summaries, queries)
+        contacts = [
+            system.execute_query(q, client_node=0).servers_contacted
+            for q in queries
+        ]
+        return n, dim_probs, float(np.mean(contacts)), queries
+
+    def test_dimension_probabilities_sane(self, measured):
+        _, dim_probs, _, queries = measured
+        # Uniform dims match essentially always; Gaussian/Pareto prune.
+        assert dim_probs["u0"] > 0.95
+        assert dim_probs["g0"] < 0.7
+        assert all(0.0 <= v <= 1.0 for v in dim_probs.values())
+
+    def test_model_predicts_simulated_contacts(self, measured):
+        n, dim_probs, sim_contacts, queries = measured
+        # Average per-query leaf probability from the measured per-dim
+        # probabilities (all queries share the attribute cycle).
+        attrs = queries[0].attributes
+        p_leaf = leaf_match_probability_from_dims(
+            [dim_probs[a] for a in attrs]
+        )
+        model = expected_contacts(QueryCostParams(n, 8, p_leaf))
+        assert model == pytest.approx(sim_contacts, rel=1.0)
+        assert model > 0

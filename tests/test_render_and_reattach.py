@@ -1,0 +1,160 @@
+"""Tests for tree rendering and guest re-attachment after failures."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy import MaintenanceConfig, Server, build_hierarchy
+from repro.hierarchy.render import default_label, render_tree, tree_stats
+from repro.query import Query, RangePredicate
+from repro.records import RecordStore
+from repro.roads import GuestOwner, RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.workload import WorkloadConfig, generate_node_stores, make_schema
+
+
+class TestRenderTree:
+    def make(self):
+        from repro.hierarchy import Hierarchy
+
+        h = build_hierarchy(Server(i, max_children=2) for i in range(6))
+        return h
+
+    def test_structure_lines(self):
+        h = self.make()
+        art = render_tree(h)
+        lines = art.splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("server 0")
+        assert any("└── " in l for l in lines)
+        assert any("├── " in l for l in lines)
+
+    def test_custom_label(self):
+        h = self.make()
+        art = render_tree(h, label=lambda s: f"<{s.server_id}>")
+        assert "<0>" in art and "<5>" in art
+
+    def test_default_label_marks_dead(self):
+        s = Server(3)
+        s.alive = False
+        assert "DEAD" in default_label(s)
+
+    def test_default_label_shows_owners(self, unit_store):
+        from repro.hierarchy import AttachedOwner
+
+        s = Server(1)
+        s.attach_owner(AttachedOwner("acme", unit_store, True))
+        assert "acme" in default_label(s)
+
+    def test_tree_stats(self):
+        h = self.make()
+        stats = tree_stats(h)
+        assert stats["servers"] == 6
+        assert stats["levels"] == h.levels
+        assert stats["leaves"] >= 2
+        assert stats["max_leaf_depth"] >= stats["min_leaf_depth"]
+
+    def test_single_node(self):
+        from repro.hierarchy import Hierarchy
+
+        h = Hierarchy(Server(0))
+        assert render_tree(h).splitlines() == ["server 0"]
+        assert tree_stats(h)["leaves"] == 1
+
+
+class TestGuestReattachment:
+    @pytest.fixture
+    def federation(self):
+        wcfg = WorkloadConfig(num_nodes=16, records_per_node=40, seed=61)
+        stores = generate_node_stores(wcfg)
+        schema = make_schema(wcfg)
+        rng = np.random.default_rng(2)
+        cols = rng.random((300, wcfg.num_attributes))
+        cols[:, 0] = 0.4 + 0.2 * rng.random(300)
+        guest_store = RecordStore.from_arrays(schema, cols, [])
+        # Attach the guest to a leaf so failing it doesn't orphan a branch.
+        cfg = RoadsConfig(
+            num_nodes=16,
+            records_per_node=40,
+            max_children=3,
+            summary=SummaryConfig(histogram_buckets=100),
+            seed=61,
+        )
+        probe = RoadsSystem.build(cfg, stores, refresh=False)
+        leaf_id = probe.hierarchy.leaves()[0].server_id
+        system = RoadsSystem.build(
+            cfg,
+            stores,
+            guests=[GuestOwner(guest_store, attach_to=leaf_id, owner_id="g")],
+        )
+        return wcfg, stores, guest_store, system, leaf_id
+
+    def query(self):
+        return Query.of(RangePredicate("u0", 0.45, 0.55))
+
+    def test_noop_when_attachment_healthy(self, federation):
+        *_, system, leaf_id = federation
+        assert system.reattach_orphaned_guests() == 0
+
+    def test_guest_moves_after_attachment_failure(self, federation):
+        wcfg, stores, guest_store, system, leaf_id = federation
+        proto = system.enable_maintenance(
+            MaintenanceConfig(heartbeat_interval=2.0, miss_threshold=3)
+        )
+        before = system.execute_query(self.query(), client_node=0)
+        assert any(h.owner_id == "g" for h in before.owner_hits)
+
+        proto.fail(system.hierarchy.get(leaf_id))
+        system.sim.run(until=system.sim.now + 30.0)  # detect + heal
+        moved = system.reattach_orphaned_guests()
+        assert moved == 1
+        new_sid = system._guest_attachment["g"]
+        assert new_sid != leaf_id
+        assert system.hierarchy.get(new_sid).alive
+        system.refresh()
+
+        after = system.execute_query(self.query(), client_node=0)
+        guest_hits = [h for h in after.owner_hits if h.owner_id == "g"]
+        assert guest_hits and guest_hits[0].match_count == self.query().match_count(guest_store)
+
+    def test_reattachment_prefers_nearby_server(self, federation):
+        *_, system, leaf_id = federation
+        proto = system.enable_maintenance()
+        proto.fail(system.hierarchy.get(leaf_id))
+        system.sim.run(until=system.sim.now + 30.0)
+        system.reattach_orphaned_guests()
+        owner = system._guest_owners["g"]
+        new_sid = system._guest_attachment["g"]
+        ds = system.network.delay_space
+        alive = [s.server_id for s in system.hierarchy if s.alive]
+        best = min(alive, key=lambda sid: ds.latency_ms(owner.node_id, sid))
+        assert new_sid == best
+
+
+class TestMultipleOwnersPerServer:
+    def test_colocated_owners_aggregate_and_answer(self):
+        """Several owners can share one attachment server (e.g. a hosting
+        provider serving multiple small organizations)."""
+        wcfg = WorkloadConfig(num_nodes=8, records_per_node=30, seed=71)
+        stores = generate_node_stores(wcfg)
+        schema = make_schema(wcfg)
+        rng = np.random.default_rng(4)
+        extra_a = RecordStore.from_arrays(
+            schema, rng.random((40, wcfg.num_attributes)), []
+        )
+        extra_b = RecordStore.from_arrays(
+            schema, rng.random((25, wcfg.num_attributes)), []
+        )
+        system = RoadsSystem.build(
+            RoadsConfig(num_nodes=8, records_per_node=30, max_children=3,
+                        summary=SummaryConfig(histogram_buckets=50), seed=71),
+            stores,
+            guests=[
+                GuestOwner(extra_a, attach_to=2, owner_id="tenant-a"),
+                GuestOwner(extra_b, attach_to=2, owner_id="tenant-b"),
+            ],
+        )
+        assert len(system.hierarchy.get(2).owners) == 3
+        q = Query.of(RangePredicate("u0", 0.0, 1.0))
+        outcome = system.execute_query(q, client_node=0)
+        total = sum(len(s) for s in stores) + 65
+        assert outcome.total_matches == total

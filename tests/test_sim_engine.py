@@ -1,0 +1,158 @@
+"""Unit tests for repro.sim.engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        n = sim.run(until=5.0)
+        assert n == 1 and fired == [1]
+        assert sim.now == 5.0  # clock advanced to the horizon
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 2
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed == 4
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_periodic(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=9.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0]
+        assert task.fired == 4
+
+    def test_first_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_periodic(5.0, lambda: ticks.append(sim.now), first_delay=0.0)
+        sim.run(until=11.0)
+        assert ticks == [0.0, 5.0, 10.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = sim.schedule_periodic(1.0, tick)
+        sim.run(until=10.0)
+        assert len(ticks) == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_periodic(0.0, lambda: None)
+
+    def test_jitter_bounded(self):
+        import numpy as np
+
+        sim = Simulator()
+        ticks = []
+        rng = np.random.default_rng(0)
+        sim.schedule_periodic(
+            10.0, lambda: ticks.append(sim.now), jitter=0.1, rng=rng
+        )
+        sim.run(until=100.0)
+        gaps = np.diff([0.0] + ticks)
+        assert all(9.0 <= g <= 11.0 for g in gaps)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.summaries.valueset."""
+
+import pytest
+
+from repro.query import EqualsPredicate, RangePredicate
+from repro.summaries import SummaryMergeError, ValueSetSummary
+
+
+class TestBasics:
+    def test_empty(self):
+        s = ValueSetSummary("enc")
+        assert s.is_empty
+        assert len(s) == 0
+
+    def test_from_values_dedupes(self):
+        s = ValueSetSummary.from_values("enc", ["a", "b", "a"])
+        assert len(s) == 2
+        assert "a" in s and "b" in s
+
+    def test_may_match(self):
+        s = ValueSetSummary.from_values("enc", ["MPEG2"])
+        assert s.may_match(EqualsPredicate("enc", "MPEG2"))
+        assert not s.may_match(EqualsPredicate("enc", "H264"))
+
+    def test_exact_no_false_positives(self):
+        s = ValueSetSummary.from_values("enc", ["a", "b"])
+        assert not s.may_match(EqualsPredicate("enc", "c"))
+
+    def test_range_predicate_rejected(self):
+        s = ValueSetSummary("enc")
+        with pytest.raises(TypeError, match="range"):
+            s.may_match(RangePredicate("x", 0, 1))
+
+
+class TestMerge:
+    def test_union(self):
+        a = ValueSetSummary.from_values("enc", ["a"])
+        b = ValueSetSummary.from_values("enc", ["b"])
+        assert a.merge(b).values == frozenset({"a", "b"})
+
+    def test_merge_commutative_idempotent(self):
+        a = ValueSetSummary.from_values("enc", ["a", "b"])
+        b = ValueSetSummary.from_values("enc", ["b", "c"])
+        assert a.merge(b) == b.merge(a)
+        assert a.merge(a) == a
+
+    def test_wrong_attribute(self):
+        with pytest.raises(SummaryMergeError):
+            ValueSetSummary("x").merge(ValueSetSummary("y"))
+
+    def test_wrong_type(self):
+        from repro.summaries import HistogramSummary
+
+        with pytest.raises(SummaryMergeError):
+            ValueSetSummary("x").merge(HistogramSummary("x", 10))
+
+
+class TestSizing:
+    def test_size_grows_with_values(self):
+        a = ValueSetSummary.from_values("enc", ["a"])
+        ab = ValueSetSummary.from_values("enc", ["a", "b"])
+        assert ab.encoded_size() > a.encoded_size()
+
+    def test_copy_independent(self):
+        a = ValueSetSummary.from_values("enc", ["a"])
+        c = a.copy()
+        assert c == a and c is not a
