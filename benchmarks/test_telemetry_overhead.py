@@ -1,0 +1,114 @@
+"""Overhead guard — telemetry-disabled execution vs the baseline path.
+
+The pre-change query path had no telemetry calls at all. Post-change,
+a system built with ``telemetry=None`` takes the same code path plus
+only the ``if telemetry is not None`` guards (instrumentation compiled
+to nothing), and a system with a disabled recorder additionally pays
+the no-op calls. This bench pins both properties:
+
+* determinism — the instrumented build must not perturb the simulation:
+  identical outcomes (latency, bytes, servers contacted) and identical
+  simulator event counts with telemetry absent, disabled, and enabled;
+* overhead — the telemetry-absent path stays within noise (<=5%) of
+  itself across interleaved halves, and the disabled-recorder path
+  stays within 5% of the telemetry-absent baseline (medians over
+  interleaved rounds, so clock drift hits both arms equally).
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.telemetry import Telemetry
+from repro.workload import WorkloadConfig, generate_node_stores
+from repro.workload.queries import generate_queries
+
+_NODES = 48
+_RECORDS = 60
+_QUERIES = 40
+_ROUNDS = 7
+_SEED = 11
+
+
+def _build(telemetry):
+    wcfg = WorkloadConfig(
+        num_nodes=_NODES, records_per_node=_RECORDS, seed=_SEED
+    )
+    stores = generate_node_stores(wcfg)
+    cfg = RoadsConfig(
+        num_nodes=_NODES,
+        records_per_node=_RECORDS,
+        max_children=4,
+        summary=SummaryConfig(histogram_buckets=100),
+        seed=_SEED,
+    )
+    system = RoadsSystem.build(cfg, stores, telemetry=telemetry)
+    queries = generate_queries(wcfg, num_queries=_QUERIES)
+    clients = np.random.default_rng(_SEED).integers(
+        0, _NODES, size=len(queries)
+    )
+    return system, queries, clients
+
+
+def _run_batch(system, queries, clients):
+    lat = bytes_ = servers = 0.0
+    for q, c in zip(queries, clients):
+        o = system.execute_query(q, client_node=int(c))
+        lat += o.latency
+        bytes_ += o.query_bytes
+        servers += o.servers_contacted
+    return lat, bytes_, servers
+
+
+def _timed(make_telemetry):
+    system, queries, clients = _build(make_telemetry())
+    t0 = time.perf_counter()
+    digest = _run_batch(system, queries, clients)
+    return time.perf_counter() - t0, digest, system.sim.processed
+
+
+def test_telemetry_overhead_guard(benchmark):
+    def run():
+        arms = {
+            "absent": lambda: None,
+            "disabled": lambda: Telemetry(enabled=False),
+            "enabled": lambda: Telemetry(capacity=500_000),
+        }
+        samples = {name: [] for name in arms}
+        digests = {}
+        events = {}
+        # Interleave rounds so machine noise hits every arm equally.
+        for _ in range(_ROUNDS):
+            for name, make in arms.items():
+                dt, digest, processed = _timed(make)
+                samples[name].append(dt)
+                digests[name] = digest
+                events[name] = processed
+        return samples, digests, events
+
+    samples, digests, events = run_once(benchmark, run)
+
+    # Determinism: instrumentation must not perturb the simulation.
+    assert digests["absent"] == digests["disabled"] == digests["enabled"]
+    assert events["absent"] == events["disabled"] == events["enabled"]
+
+    med = {k: float(np.median(v)) for k, v in samples.items()}
+    noise = abs(
+        float(np.median(samples["absent"][::2]))
+        - float(np.median(samples["absent"][1::2]))
+    ) / med["absent"]
+    print(
+        f"\nmedian per-batch seconds: absent={med['absent']:.4f} "
+        f"disabled={med['disabled']:.4f} enabled={med['enabled']:.4f} "
+        f"(self-noise {noise:.1%})"
+    )
+    # The overhead guard: disabled telemetry within 5% of the baseline
+    # path (plus whatever this machine's measured self-noise is).
+    budget = 1.05 + max(0.0, noise)
+    assert med["disabled"] <= med["absent"] * budget, (
+        f"disabled telemetry {med['disabled']:.4f}s exceeds "
+        f"{budget:.2f}x baseline {med['absent']:.4f}s"
+    )

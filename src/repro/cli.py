@@ -7,6 +7,10 @@ code:
   the comparative orderings against SWORD and the central repository;
 * ``figure <target>`` — regenerate one of the paper's tables/figures
   (``table1``, ``fig3`` … ``fig11``) and optionally save the rows;
+* ``telemetry`` — run an instrumented scenario and print per-server
+  load tables (root-load share with and without the replication
+  overlay), optionally exporting JSONL events, a Chrome trace and a
+  Prometheus metrics snapshot;
 * ``demo`` — a narrated quickstart run.
 """
 
@@ -58,6 +62,118 @@ _FIGURES = {
 }
 
 
+def _telemetry_scenario(
+    num_nodes: int,
+    records_per_node: int,
+    num_queries: int,
+    seed: int,
+    *,
+    use_overlay: bool,
+    capacity: int = 200_000,
+):
+    """Build an instrumented federation and run a query batch over it.
+
+    Returns ``(system, telemetry, root_id)`` with all query traffic
+    recorded in the per-server metrics registry and the event bus.
+    """
+    import numpy as np
+
+    from .roads import RoadsConfig, RoadsSystem
+    from .telemetry import Telemetry
+    from .workload import WorkloadConfig, generate_node_stores
+    from .workload.queries import generate_queries
+
+    wcfg = WorkloadConfig(
+        num_nodes=num_nodes, records_per_node=records_per_node, seed=seed
+    )
+    stores = generate_node_stores(wcfg)
+    queries = generate_queries(wcfg, num_queries=num_queries)
+    clients = np.random.default_rng(seed).integers(
+        0, num_nodes, size=len(queries)
+    )
+    tel = Telemetry(capacity=capacity)
+    cfg = RoadsConfig(
+        num_nodes=num_nodes, records_per_node=records_per_node, seed=seed
+    )
+    system = RoadsSystem.build(cfg, stores, telemetry=tel)
+    for q, c in zip(queries, clients):
+        system.execute_query(q, client_node=int(c), use_overlay=use_overlay)
+    return system, tel, system.hierarchy.root.server_id
+
+
+def _print_load_tables(
+    num_nodes: int,
+    records_per_node: int,
+    num_queries: int,
+    seed: int,
+    top: int,
+) -> tuple:
+    """Per-server query load with and without the overlay; returns the
+    (system, telemetry) pair of the with-overlay run for exporting."""
+    from .sim import QUERY
+    from .telemetry import per_server_load_rows, root_load_share
+
+    kept = None
+    for use_overlay in (True, False):
+        system, tel, root_id = _telemetry_scenario(
+            num_nodes, records_per_node, num_queries, seed,
+            use_overlay=use_overlay,
+        )
+        rows = per_server_load_rows(
+            system.metrics.registry, category=QUERY, phase="forward",
+            top=top, root_id=root_id,
+        )
+        for r in rows:
+            r["share"] = f"{r['share']:.1%}"
+        label = "with overlay" if use_overlay else "without overlay (root entry)"
+        print()
+        print_table(
+            rows,
+            title=(
+                f"hottest {len(rows)} servers by query-forward load "
+                f"({label}; root={root_id})"
+            ),
+        )
+        share = root_load_share(
+            system.metrics.registry, root_id, category=QUERY, phase="forward"
+        )
+        print(f"root-load share ({label}): {share:.1%}")
+        if use_overlay:
+            kept = (system, tel)
+    return kept
+
+
+def _cmd_telemetry(args) -> int:
+    from .telemetry.export import (
+        write_chrome_trace, write_jsonl, write_prometheus,
+    )
+
+    system, tel = _print_load_tables(
+        args.nodes, args.records, args.queries, args.seed, args.top
+    )
+    latency = system.metrics.registry.merged_histogram("query.latency")
+    s = latency.summary()
+    print(
+        f"query latency (s): p50={s['p50']:.3f} p95={s['p95']:.3f} "
+        f"p99={s['p99']:.3f} over {s['count']} queries"
+    )
+    print(
+        f"events recorded: {tel.bus.emitted} "
+        f"(retained {len(tel.bus)}, dropped {tel.bus.dropped})"
+    )
+    if args.export_jsonl:
+        n = write_jsonl(tel.events(), args.export_jsonl)
+        print(f"{n} events written to {args.export_jsonl}")
+    if args.export_chrome:
+        n = write_chrome_trace(tel.events(), args.export_chrome)
+        print(f"{n} trace events written to {args.export_chrome} "
+              "(load in Perfetto / chrome://tracing)")
+    if args.export_prom:
+        write_prometheus(system.metrics.registry, args.export_prom)
+        print(f"metrics snapshot written to {args.export_prom}")
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     from .experiments import run_trial
 
@@ -94,6 +210,12 @@ def _cmd_selftest(args) -> int:
         print(f"  [{'ok' if passed else 'FAIL'}] {label}")
         ok &= passed
     print("selftest", "passed" if ok else "FAILED")
+    if args.telemetry:
+        print("\ntelemetry: per-server load attribution (same scale)")
+        _print_load_tables(
+            settings.num_nodes, settings.records_per_node,
+            settings.num_queries, args.seed, top=8,
+        )
     return 0 if ok else 1
 
 
@@ -123,12 +245,37 @@ def _cmd_demo(args) -> int:
     import runpy
     from pathlib import Path
 
+    if args.telemetry:
+        return _demo_telemetry(args)
     script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
     if script.exists():
         runpy.run_path(str(script), run_name="__main__")
         return 0
     print("examples/quickstart.py not found; run from a source checkout")
     return 1
+
+
+def _demo_telemetry(args) -> int:
+    """Narrated telemetry walkthrough: one traced query, then load tables."""
+    from .workload import WorkloadConfig, generate_node_stores
+    from .workload.queries import generate_queries
+
+    print("== telemetry demo: one traced query on a 16-node federation ==")
+    system, tel, root_id = _telemetry_scenario(
+        16, 40, 0, 7, use_overlay=True
+    )
+    wcfg = WorkloadConfig(num_nodes=16, records_per_node=40, seed=7)
+    query = generate_queries(wcfg, num_queries=1)[0]
+    outcome = system.execute_query(query, client_node=0, trace=True)
+    print(f"query contacted {outcome.servers_contacted} servers, "
+          f"{outcome.total_matches} matches, "
+          f"latency {outcome.latency * 1000:.1f} ms; trace:")
+    print(outcome.format_trace())
+    spans = [e for e in tel.events() if e.kind == "span"]
+    print(f"\n{tel.bus.emitted} structured events on the bus "
+          f"({len(spans)} spans); per-server load tables:")
+    _print_load_tables(16, 40, 30, 7, top=8)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,7 +286,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("selftest", help="verify comparative orderings")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="also print per-server load attribution tables",
+    )
     p.set_defaults(fn=_cmd_selftest)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="run an instrumented scenario; print per-server load tables",
+    )
+    p.add_argument("--nodes", type=int, default=64)
+    p.add_argument("--records", type=int, default=100)
+    p.add_argument("--queries", type=int, default=40)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the hottest-servers table")
+    p.add_argument("--export-jsonl", metavar="PATH",
+                   help="dump bus events as JSON-Lines")
+    p.add_argument("--export-chrome", metavar="PATH",
+                   help="write a Chrome trace_event JSON (Perfetto-loadable)")
+    p.add_argument("--export-prom", metavar="PATH",
+                   help="write a Prometheus-style metrics snapshot")
+    p.set_defaults(fn=_cmd_telemetry)
 
     p = sub.add_parser("figure", help="regenerate a table/figure")
     p.add_argument("target", choices=sorted(_FIGURES))
@@ -162,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_suite)
 
     p = sub.add_parser("demo", help="run the narrated quickstart")
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="run the telemetry walkthrough instead (traced query + load tables)",
+    )
     p.set_defaults(fn=_cmd_demo)
     return parser
 

@@ -69,6 +69,7 @@ def build_roads(
     settings: ExperimentSettings,
     stores: Sequence[RecordStore],
     seed: int,
+    telemetry=None,
 ) -> RoadsSystem:
     cfg = RoadsConfig(
         num_nodes=settings.num_nodes,
@@ -79,7 +80,7 @@ def build_roads(
         record_interval=settings.record_interval,
         seed=seed,
     )
-    return RoadsSystem.build(cfg, stores)
+    return RoadsSystem.build(cfg, stores, telemetry=telemetry)
 
 
 def build_sword(

@@ -26,6 +26,7 @@ from ..sim.engine import PeriodicTask, Simulator
 from ..sim.metrics import UPDATE, MetricsCollector
 from ..summaries.config import SummaryConfig
 from ..summaries.summary import ResourceSummary
+from ..telemetry.core import Telemetry
 from .join import Hierarchy
 from .node import Server
 
@@ -81,6 +82,7 @@ def aggregate_round(
     *,
     refresh_exports: bool = True,
     delta: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> AggregationReport:
     """One synchronous bottom-up aggregation round.
 
@@ -94,9 +96,14 @@ def aggregate_round(
     paper's t_s >> t_r argument (records changing within the same
     histogram bucket leave the summary untouched).
     """
+    span = (
+        telemetry.span("update.aggregate", delta=delta)
+        if telemetry is not None
+        else None
+    )
     export_bytes = refresh_owner_exports(hierarchy, config, now) if refresh_exports else 0
     if metrics is not None and export_bytes:
-        metrics.record_message(UPDATE, export_bytes)
+        metrics.record_message(UPDATE, export_bytes, phase="export")
 
     agg_bytes = 0
     messages = 0
@@ -128,9 +135,21 @@ def aggregate_round(
             agg_bytes += size
             messages += 1
             if metrics is not None:
-                metrics.record_message(UPDATE, size)
+                # The parent receives (and merges) the child's report.
+                metrics.record_message(
+                    UPDATE, size,
+                    server=server.parent.server_id, phase="aggregate",
+                )
 
     visit(hierarchy.root)
+    if span is not None:
+        span.annotate(
+            bytes=export_bytes + agg_bytes,
+            messages=messages,
+            full_reports=full_reports,
+            keepalive_reports=keepalive_reports,
+        )
+        span.close()
     return AggregationReport(
         export_bytes=export_bytes,
         aggregation_bytes=agg_bytes,
@@ -150,12 +169,14 @@ class PeriodicAggregation:
         config: SummaryConfig,
         interval: float,
         metrics: Optional[MetricsCollector] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.hierarchy = hierarchy
         self.config = config
         self.interval = interval
         self.metrics = metrics
+        self.telemetry = telemetry
         self.rounds = 0
         self.last_report: Optional[AggregationReport] = None
         self._task: Optional[PeriodicTask] = sim.schedule_periodic(
@@ -167,7 +188,8 @@ class PeriodicAggregation:
         for server in self.hierarchy:
             server.expire_stale_summaries(now)
         self.last_report = aggregate_round(
-            self.hierarchy, self.config, now, self.metrics
+            self.hierarchy, self.config, now, self.metrics,
+            telemetry=self.telemetry,
         )
         self.rounds += 1
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 from ..net.transport import Message, Network
 from ..sim.engine import Simulator
 from ..sim.metrics import MAINTENANCE
+from ..telemetry.core import Telemetry
 from .join import Hierarchy, JoinError
 from .node import Server
 
@@ -64,11 +65,14 @@ class MaintenanceProtocol:
         network: Network,
         hierarchy: Hierarchy,
         config: MaintenanceConfig = MaintenanceConfig(),
+        *,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.network = network
         self.hierarchy = hierarchy
         self.config = config
+        self.telemetry = telemetry
         # per-server: neighbour id -> last time we heard from it
         self._last_rx: Dict[int, Dict[int, float]] = {}
         # per-server: last known root path / root children (from heartbeats)
@@ -89,6 +93,10 @@ class MaintenanceProtocol:
             self._check_failures,
             first_delay=config.failure_timeout,
         )
+
+    def _event(self, name: str, **tags) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(name, **tags)
 
     # -- wiring ----------------------------------------------------------------
     def _register(self, server: Server) -> None:
@@ -133,6 +141,7 @@ class MaintenanceProtocol:
                     MAINTENANCE,
                     self._heartbeat_size(hb),
                     payload=hb,
+                    phase="heartbeat",
                 )
 
     def _on_message(self, server_id: int, msg: Message) -> None:
@@ -173,11 +182,21 @@ class MaintenanceProtocol:
             for child in list(server.children):
                 if self._silent(server.server_id, child.server_id):
                     self.failures_detected += 1
+                    self._event(
+                        "maintenance.failure_detected",
+                        server=server.server_id,
+                        peer=child.server_id, relation="child",
+                    )
                     server.remove_child(child.server_id)
             # parent silence -> rejoin elsewhere
             parent = server.parent
             if parent is not None and self._silent(server.server_id, parent.server_id):
                 self.failures_detected += 1
+                self._event(
+                    "maintenance.failure_detected",
+                    server=server.server_id,
+                    peer=parent.server_id, relation="parent",
+                )
                 self._handle_parent_failure(server)
             elif (
                 parent is None
@@ -224,7 +243,10 @@ class MaintenanceProtocol:
         # The walk costs one probe per visited level; approximate with the
         # target's depth in join-protocol bytes.
         probe_bytes = _HEARTBEAT_HEADER * (parent.depth + 1)
-        self.network.metrics.record_message(MAINTENANCE, probe_bytes)
+        self.network.metrics.record_message(
+            MAINTENANCE, probe_bytes,
+            server=parent.server_id, phase="rejoin",
+        )
         parent.add_child(server)
         self._known_root_path[server.server_id] = list(server.root_path)
         # Grace-stamp the new edge in both directions.
@@ -233,6 +255,10 @@ class MaintenanceProtocol:
         self._last_rx.setdefault(parent.server_id, {})[server.server_id] = now
         self.rejoins += 1
         self.orphaned.discard(server.server_id)
+        self._event(
+            "maintenance.rejoin",
+            server=server.server_id, parent=parent.server_id,
+        )
         return True
 
     def _handle_root_failure(self, detector: Server, failed_root: Server) -> None:
@@ -249,6 +275,11 @@ class MaintenanceProtocol:
             alive_children.append(detector)
         new_root = min(alive_children, key=lambda s: s.server_id)
         self.root_elections += 1
+        self._event(
+            "maintenance.root_election",
+            server=new_root.server_id, failed_root=failed_root.server_id,
+            detector=detector.server_id,
+        )
         detached = []
         if failed_root.server_id in self.hierarchy._servers:
             # Forget the failed root; detach any remaining children first.
@@ -272,6 +303,7 @@ class MaintenanceProtocol:
     # -- explicit departures ---------------------------------------------------------
     def leave(self, server: Server) -> None:
         """Graceful departure: children rejoin from their grandparent."""
+        self._event("maintenance.leave", server=server.server_id)
         server.alive = False
         parent = server.parent
         if parent is not None:
@@ -288,6 +320,7 @@ class MaintenanceProtocol:
 
     def fail(self, server: Server) -> None:
         """Crash-fail a server: it goes silent; recovery is detection-driven."""
+        self._event("maintenance.fail", server=server.server_id)
         server.alive = False
         self.network.fail_node(server.server_id)
 

@@ -7,18 +7,23 @@ its delivery callback after the pairwise one-way delay and accounts its
 size under the given traffic category. Failed nodes silently drop inbound
 messages (the sender learns of failures only via missing heartbeats, as in
 the paper's maintenance protocol).
+
+Each message is attributed to its destination server and the sender's
+protocol ``phase`` in the per-server metrics registry; when a
+:class:`~repro.telemetry.Telemetry` recorder is attached, sends, losses,
+drops and deliveries additionally emit structured events (deliveries as
+``net.transit`` spans covering the in-flight interval).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set
 
 from ..sim.engine import Simulator
 from ..sim.metrics import MetricsCollector
-
-_msg_counter = itertools.count()
+from ..telemetry.core import Telemetry
 
 
 @dataclass(frozen=True)
@@ -30,7 +35,7 @@ class Message:
     category: str
     size_bytes: int
     payload: Any = None
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    msg_id: int = 0
 
 
 class Network:
@@ -45,6 +50,7 @@ class Network:
         processing_delay: float = 0.0005,
         loss_rate: float = 0.0,
         rng=None,
+        telemetry: Optional[Telemetry] = None,
     ):
         """
         Parameters
@@ -56,6 +62,10 @@ class Network:
             Probability that any individual message is silently lost in
             transit (failure injection for robustness tests). Requires
             *rng* when non-zero.
+        telemetry:
+            Optional structured-event recorder; ``None`` disables event
+            emission entirely (the per-server metrics registry inside
+            *metrics* is always maintained).
         """
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -66,11 +76,16 @@ class Network:
         self.metrics = metrics if metrics is not None else MetricsCollector()
         self.processing_delay = processing_delay
         self.loss_rate = loss_rate
+        self.telemetry = telemetry
         self._rng = rng
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._failed: Set[int] = set()
         self.dropped = 0
         self.lost = 0
+        # Message ids are per-network so independently built systems are
+        # reproducible (a module-level counter would leak state between
+        # builds and break id-based assertions across test orderings).
+        self._msg_counter = itertools.count()
 
     # -- membership ----------------------------------------------------------------
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
@@ -83,9 +98,13 @@ class Network:
     def fail_node(self, node: int) -> None:
         """Mark *node* failed: all inbound messages are dropped."""
         self._failed.add(node)
+        if self.telemetry is not None:
+            self.telemetry.event("net.node_failed", server=node)
 
     def recover_node(self, node: int) -> None:
         self._failed.discard(node)
+        if self.telemetry is not None:
+            self.telemetry.event("net.node_recovered", server=node)
 
     def is_failed(self, node: int) -> bool:
         return node in self._failed
@@ -102,31 +121,56 @@ class Network:
         size_bytes: int,
         payload: Any = None,
         on_delivery: Optional[Callable[[Message], None]] = None,
+        phase: str = "",
     ) -> Message:
         """Send a message; returns the :class:`Message` descriptor.
 
         Traffic is accounted at send time (the bytes hit the wire whether
-        or not the destination is alive). Delivery invokes *on_delivery*
-        when given, else the destination's registered handler.
+        or not the destination is alive) and attributed to the receiving
+        node under *phase*. Delivery invokes *on_delivery* when given,
+        else the destination's registered handler.
         """
         msg = Message(src=src, dst=dst, category=category,
-                      size_bytes=int(size_bytes), payload=payload)
-        self.metrics.record_message(category, msg.size_bytes)
+                      size_bytes=int(size_bytes), payload=payload,
+                      msg_id=next(self._msg_counter))
+        self.metrics.record_message(
+            category, msg.size_bytes, server=dst, phase=phase
+        )
+        tel = self.telemetry
         if src in self._failed:
             # A failed node cannot transmit; bytes were not actually sent.
-            self.metrics.bytes_by_category[category] -= msg.size_bytes
-            self.metrics.messages_by_category[category] -= 1
+            self.metrics.uncount_message(
+                category, msg.size_bytes, server=dst, phase=phase
+            )
             self.dropped += 1
+            if tel is not None:
+                tel.event("net.drop", src=src, dst=dst, category=category,
+                          phase=phase, reason="sender_failed")
             return msg
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.lost += 1
+            if tel is not None:
+                tel.event("net.loss", src=src, dst=dst, category=category,
+                          phase=phase, bytes=msg.size_bytes)
             return msg  # bytes were sent; the message never arrives
+        if tel is not None:
+            tel.event("net.send", src=src, dst=dst, category=category,
+                      phase=phase, bytes=msg.size_bytes, msg_id=msg.msg_id)
         delay = self.delay_space.latency(src, dst) + self.processing_delay
+        sent_at = self.sim.now
 
         def deliver() -> None:
             if msg.dst in self._failed:
                 self.dropped += 1
+                if tel is not None:
+                    tel.event("net.drop", src=src, dst=dst,
+                              category=category, phase=phase,
+                              reason="receiver_failed")
                 return
+            if tel is not None:
+                tel.emit_span("net.transit", sent_at, self.sim.now,
+                              src=src, server=dst, category=category,
+                              phase=phase, bytes=msg.size_bytes)
             handler = on_delivery if on_delivery is not None else self._handlers.get(msg.dst)
             if handler is not None:
                 handler(msg)

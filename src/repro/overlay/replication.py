@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set
 
 from ..sim.metrics import UPDATE, MetricsCollector
 from ..summaries.config import SummaryConfig
+from ..telemetry.core import Telemetry
 from ..summaries.summary import ResourceSummary
 from ..hierarchy.join import Hierarchy
 from ..hierarchy.node import Server
@@ -82,6 +83,7 @@ class ReplicationOverlay:
         metrics: Optional[MetricsCollector] = None,
         *,
         delta: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> ReplicationReport:
         """Refresh every server's replicated summaries from current state.
 
@@ -89,6 +91,11 @@ class ReplicationOverlay:
         With ``delta=True``, a replica whose source summary is unchanged
         since the last round costs only a keep-alive header.
         """
+        span = (
+            telemetry.span("update.replicate", delta=delta)
+            if telemetry is not None
+            else None
+        )
         # Compute each server's branch and local summaries once.
         branch: Dict[int, Optional[ResourceSummary]] = {}
         local: Dict[int, Optional[ResourceSummary]] = {}
@@ -131,7 +138,10 @@ class ReplicationOverlay:
             total_bytes += size
             messages += 1
             if metrics is not None:
-                metrics.record_message(UPDATE, size)
+                # The holder receives the replicated summary.
+                metrics.record_message(
+                    UPDATE, size, server=server.server_id, phase="replicate"
+                )
 
         for server in self.hierarchy:
             server.replicated_summaries.clear()
@@ -151,6 +161,12 @@ class ReplicationOverlay:
                     continue
                 ship(server, "local", anc.server_id, summary,
                      server.replicated_local_summaries)
+        if span is not None:
+            span.annotate(
+                bytes=total_bytes, messages=messages,
+                full_sends=full_sends, keepalive_sends=keepalive_sends,
+            )
+            span.close()
         return ReplicationReport(
             replication_bytes=total_bytes,
             messages=messages,

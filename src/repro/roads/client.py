@@ -22,6 +22,8 @@ from ..records.store import RecordStore
 from ..sim.engine import Simulator
 from ..sim.metrics import QUERY
 from ..summaries.config import SummaryConfig
+from ..telemetry.core import Telemetry
+from ..telemetry.events import TraceEvent
 from ..hierarchy.join import Hierarchy
 from ..hierarchy.node import AttachedOwner, Server
 from ..overlay.routing import (
@@ -63,13 +65,22 @@ class QueryOutcome:
     query_messages: int = 0
     completed: bool = False
     timed_out_servers: Set[int] = field(default_factory=set)
-    #: optional event log: (sim time, event, subject, detail) tuples
-    trace: List[tuple] = field(default_factory=list)
+    #: optional structured event log (:class:`TraceEvent` entries)
+    trace_events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def trace(self) -> List[TraceEvent]:
+        """Back-compat view of :attr:`trace_events`.
+
+        Each entry unpacks and indexes like the historical
+        ``(sim time, event, subject, detail)`` tuple.
+        """
+        return self.trace_events
 
     def format_trace(self) -> str:
         """Human-readable rendering of the event trace."""
         lines = []
-        for t, event, subject, detail in self.trace:
+        for t, event, subject, detail in self.trace_events:
             rel = (t - self.started_at) * 1000
             lines.append(f"{rel:8.1f} ms  {event:<9} {subject} {detail}")
         return "\n".join(lines)
@@ -119,6 +130,7 @@ class QueryExecution:
         retries: int = 1,
         first_k: Optional[int] = None,
         trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.network = network
@@ -137,6 +149,7 @@ class QueryExecution:
         #: (best-effort early termination; in-flight contacts complete)
         self.first_k = first_k
         self._tracing = trace
+        self._telemetry = telemetry
         self.outcome = QueryOutcome(
             query=query, start_server=start_server_id, client_node=client_node
         )
@@ -147,7 +160,13 @@ class QueryExecution:
 
     def _trace(self, event: str, subject, detail="") -> None:
         if self._tracing:
-            self.outcome.trace.append((self.sim.now, event, subject, detail))
+            self.outcome.trace_events.append(
+                TraceEvent(self.sim.now, event, str(subject), str(detail))
+            )
+        if self._telemetry is not None:
+            self._telemetry.event(
+                f"query.{event}", subject=str(subject), detail=str(detail)
+            )
 
     # -- driving ----------------------------------------------------------------
     def start(self) -> "QueryExecution":
@@ -190,6 +209,7 @@ class QueryExecution:
                 self.query.size_bytes,
                 payload=self.query,
                 on_delivery=lambda msg: self._at_server(server_id, mode, state),
+                phase="forward",
             )
             state["timeout_event"] = self.sim.schedule(self.timeout, expire)
 
@@ -236,6 +256,7 @@ class QueryExecution:
             decision.response_size_bytes,
             payload=decision,
             on_delivery=lambda msg: self._on_redirects(decision, state),
+            phase="response",
         )
 
     def _evaluate_owner(self, owner: AttachedOwner, server_id: int) -> None:
@@ -299,6 +320,7 @@ class QueryExecution:
                 QUERY,
                 _ACK_BYTES,
                 on_delivery=lambda _msg: self._finish_one(),
+                phase="response",
             )
 
         self.network.send(
@@ -308,6 +330,7 @@ class QueryExecution:
             self.query.size_bytes,
             payload=self.query,
             on_delivery=at_owner,
+            phase="forward",
         )
 
     def _on_redirects(self, decision: RoutingDecision, state: Dict) -> None:

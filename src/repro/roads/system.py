@@ -33,6 +33,7 @@ from ..hierarchy.join import Hierarchy, build_hierarchy
 from ..hierarchy.maintenance import MaintenanceConfig, MaintenanceProtocol
 from ..hierarchy.node import AttachedOwner, Server
 from ..overlay.replication import ReplicationOverlay, ReplicationReport
+from ..telemetry.core import Telemetry
 from .client import QueryExecution, QueryOutcome
 from .config import RoadsConfig
 from .policy import PolicyTable, SharingPolicy
@@ -80,6 +81,7 @@ class RoadsSystem:
         hierarchy: Hierarchy,
         overlay: ReplicationOverlay,
         policies: PolicyTable,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config
         self.sim = sim
@@ -88,6 +90,7 @@ class RoadsSystem:
         self.overlay = overlay
         self.policies = policies
         self.metrics = network.metrics
+        self.telemetry = telemetry
         self.maintenance: Optional[MaintenanceProtocol] = None
         self._rng = np.random.default_rng(config.seed)
         self.last_update_report: Optional[UpdateRoundReport] = None
@@ -105,6 +108,7 @@ class RoadsSystem:
         join_order: Optional[Sequence[int]] = None,
         guests: Sequence[GuestOwner] = (),
         refresh: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> "RoadsSystem":
         """Build a federation of ``len(stores)`` nodes.
 
@@ -131,7 +135,11 @@ class RoadsSystem:
             base_ms=config.delay_base_ms,
             jitter_ms=config.delay_jitter_ms,
         )
-        network = Network(sim, delay_space, MetricsCollector())
+        if telemetry is not None:
+            telemetry.bind_clock(lambda: sim.now)
+        network = Network(
+            sim, delay_space, MetricsCollector(), telemetry=telemetry
+        )
         order = list(join_order) if join_order is not None else list(range(n))
         if sorted(order) != list(range(n)):
             raise ValueError("join_order must be a permutation of node ids")
@@ -163,7 +171,10 @@ class RoadsSystem:
             hierarchy.get(guest.attach_to).attach_owner(owner)
             guest_owners.append((owner, guest.attach_to))
         overlay = ReplicationOverlay(hierarchy, config.summary)
-        system = cls(config, sim, network, hierarchy, overlay, PolicyTable())
+        system = cls(
+            config, sim, network, hierarchy, overlay, PolicyTable(),
+            telemetry=telemetry,
+        )
         for owner, sid in guest_owners:
             system._guest_owners[owner.owner_id] = owner
             system._guest_attachment[owner.owner_id] = sid
@@ -217,11 +228,19 @@ class RoadsSystem:
             now,
             metrics or self.metrics,
             delta=delta,
+            telemetry=self.telemetry,
         )
         rep = self.overlay.replicate_round(
-            now, metrics or self.metrics, delta=delta
+            now, metrics or self.metrics, delta=delta,
+            telemetry=self.telemetry,
         )
         self.last_update_report = UpdateRoundReport(aggregation=agg, replication=rep)
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "update.epoch",
+                aggregation_bytes=agg.total_bytes,
+                replication_bytes=rep.replication_bytes,
+            )
         return self.last_update_report
 
     def update_bytes_per_epoch(self) -> int:
@@ -287,15 +306,44 @@ class RoadsSystem:
             collect_records=collect_records,
             first_k=first_k,
             trace=trace,
+            telemetry=self.telemetry,
         )
-        if scope is not None or not use_overlay:
-            # Descent-only entry: no overlay fan-out beyond the subtree.
-            execution._contact(start_server, mode="descent")
-            execution.outcome.started_at = self.sim.now
-            while not execution._done and self.sim.step():
-                pass
-            return execution.outcome
-        return execution.run()
+        tel = self.telemetry
+        span = (
+            tel.span(
+                "query.execute",
+                client=client_node,
+                start=start_server,
+                overlay=use_overlay,
+                scope=scope,
+            )
+            if tel is not None
+            else None
+        )
+        try:
+            if scope is not None or not use_overlay:
+                # Descent-only entry: no overlay fan-out beyond the subtree.
+                execution._contact(start_server, mode="descent")
+                execution.outcome.started_at = self.sim.now
+                while not execution._done and self.sim.step():
+                    pass
+                outcome = execution.outcome
+            else:
+                outcome = execution.run()
+        except BaseException:
+            if span is not None:
+                span.close()
+            raise
+        if span is not None:
+            span.annotate(
+                servers=outcome.servers_contacted,
+                matches=outcome.total_matches,
+            )
+            span.close()
+        self.metrics.registry.observe(
+            "query.latency", outcome.latency, server=start_server
+        )
+        return outcome
 
     def widening_search(
         self,
@@ -355,7 +403,8 @@ class RoadsSystem:
     ) -> MaintenanceProtocol:
         if self.maintenance is None:
             self.maintenance = MaintenanceProtocol(
-                self.sim, self.network, self.hierarchy, config
+                self.sim, self.network, self.hierarchy, config,
+                telemetry=self.telemetry,
             )
         return self.maintenance
 

@@ -7,15 +7,21 @@ category and query latencies:
 * ``query`` — query forwarding traffic,
 * ``maintenance`` — heartbeats and overlay summary replication traffic,
 * ``result`` — record return traffic (prototype benchmark only).
+
+:class:`MetricsCollector` keeps its historical global-totals API but is
+now a facade over a per-``(server, category, phase)``
+:class:`~repro.telemetry.metrics.MetricsRegistry`, so the same counters
+that feed the category totals also attribute load to individual servers
+and protocol phases (the paper's per-server bottleneck analysis).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from ..telemetry.metrics import MetricsRegistry
 
 UPDATE = "update"
 QUERY = "query"
@@ -25,43 +31,89 @@ RESULT = "result"
 CATEGORIES = (UPDATE, QUERY, MAINTENANCE, RESULT)
 
 
-@dataclass
 class MetricsCollector:
-    """Accumulates per-category message/byte counts and latency samples."""
+    """Accumulates per-category message/byte counts and latency samples.
 
-    bytes_by_category: Dict[str, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    messages_by_category: Dict[str, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    latency_samples: List[float] = field(default_factory=list)
+    The category-keyed views (:attr:`bytes_by_category`,
+    :attr:`messages_by_category`) are computed **plain dicts** — reading
+    a missing category can no longer materialise a spurious zero entry
+    the way the old ``defaultdict`` fields did.
+    """
 
-    def record_message(self, category: str, size_bytes: int) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency_samples: List[float] = []
+
+    def record_message(
+        self,
+        category: str,
+        size_bytes: int,
+        *,
+        server: Optional[int] = None,
+        phase: str = "",
+    ) -> None:
+        """Count one message; optionally attribute it to a *server* (the
+        node bearing its load, normally the receiver) and a protocol
+        *phase* (``"forward"``, ``"aggregate"``, ``"heartbeat"``, ...)."""
         if size_bytes < 0:
             raise ValueError(f"negative message size: {size_bytes}")
-        self.bytes_by_category[category] += size_bytes
-        self.messages_by_category[category] += 1
+        self.registry.count_message(
+            category, size_bytes, server=server, phase=phase
+        )
 
-    def record_latency(self, seconds: float) -> None:
+    def uncount_message(
+        self,
+        category: str,
+        size_bytes: int,
+        *,
+        server: Optional[int] = None,
+        phase: str = "",
+    ) -> None:
+        """Roll back one recorded message (bytes that never hit the wire)."""
+        self.registry.uncount_message(
+            category, size_bytes, server=server, phase=phase
+        )
+
+    def record_latency(
+        self, seconds: float, *, server: Optional[int] = None
+    ) -> None:
         if seconds < 0:
             raise ValueError(f"negative latency: {seconds}")
         self.latency_samples.append(seconds)
+        self.registry.observe("latency", seconds, server=server)
 
     # -- read-out -----------------------------------------------------------------
+    @property
+    def bytes_by_category(self) -> Dict[str, int]:
+        """Plain-dict roll-up: category -> total bytes."""
+        return self.registry.totals_by_category()[0]
+
+    @property
+    def messages_by_category(self) -> Dict[str, int]:
+        """Plain-dict roll-up: category -> total messages."""
+        return self.registry.totals_by_category()[1]
+
     def bytes(self, category: str) -> int:
-        return self.bytes_by_category.get(category, 0)
+        return self.registry.bytes_total(category)
 
     def messages(self, category: str) -> int:
-        return self.messages_by_category.get(category, 0)
+        return self.registry.messages_total(category)
+
+    def per_server(
+        self,
+        category: Optional[str] = None,
+        phase: Optional[str] = None,
+    ) -> Dict[int, Tuple[int, int]]:
+        """``server -> (messages, bytes)`` for the attributed records."""
+        return self.registry.per_server(category=category, phase=phase)
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes_by_category.values())
+        return self.registry.bytes_total()
 
     @property
     def total_messages(self) -> int:
-        return sum(self.messages_by_category.values())
+        return self.registry.messages_total()
 
     def mean_latency(self) -> float:
         if not self.latency_samples:
@@ -73,25 +125,21 @@ class MetricsCollector:
             return 0.0
         return float(np.percentile(self.latency_samples, pct))
 
-    def reset(self, categories=None) -> None:
+    def reset(self, categories: Optional[Iterable[str]] = None) -> None:
         """Zero all counters, or only the given *categories*."""
+        self.registry.reset(categories)
         if categories is None:
-            self.bytes_by_category.clear()
-            self.messages_by_category.clear()
             self.latency_samples.clear()
-        else:
-            for c in categories:
-                self.bytes_by_category.pop(c, None)
-                self.messages_by_category.pop(c, None)
 
     def snapshot(self) -> Dict[str, int]:
         """Immutable copy of the byte counters for later diffing."""
-        return dict(self.bytes_by_category)
+        return self.registry.totals_by_category()[0]
 
     def summary(self) -> Dict[str, Dict[str, float]]:
+        by_bytes, by_msgs = self.registry.totals_by_category()
         return {
-            "bytes": dict(self.bytes_by_category),
-            "messages": dict(self.messages_by_category),
+            "bytes": by_bytes,
+            "messages": by_msgs,
             "latency": {
                 "count": len(self.latency_samples),
                 "mean": self.mean_latency(),

@@ -1,0 +1,57 @@
+"""Unified telemetry: structured spans, per-server metrics, exporters.
+
+The telemetry layer mirrors how the paper evaluates ROADS (Section V):
+per-server load attribution, per-category byte counts, and per-phase
+latency distributions. It has three cooperating pieces:
+
+* :class:`Telemetry` — an event bus plus a span API. ``tel.span("query.
+  forward", server=7)`` opens a context manager stamped with sim-clock
+  times, parent/child span ids and a tag dict; closed spans and point
+  events land in a bounded ring buffer (:class:`EventBus`).
+* :class:`MetricsRegistry` — counters, byte gauges and streaming
+  percentile histograms keyed by ``(server, category, phase)``. The
+  global :class:`~repro.sim.metrics.MetricsCollector` is now a facade
+  over one of these.
+* exporters — JSON-Lines event dumps, Prometheus-style text snapshots,
+  and Chrome ``trace_event`` JSON loadable in Perfetto /
+  ``chrome://tracing`` (:mod:`repro.telemetry.export`).
+
+When no telemetry is attached (the default), instrumented code paths
+skip all recording; :data:`NULL_TELEMETRY` is a shared no-op recorder
+for call sites that prefer unconditional calls.
+"""
+
+from .events import EventBus, TelemetryEvent, TraceEvent
+from .histogram import StreamingHistogram
+from .metrics import MetricKey, MetricsRegistry
+from .core import NULL_TELEMETRY, NullTelemetry, Span, Telemetry
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .report import per_server_load_rows, root_load_share
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Span",
+    "EventBus",
+    "TelemetryEvent",
+    "TraceEvent",
+    "StreamingHistogram",
+    "MetricKey",
+    "MetricsRegistry",
+    "chrome_trace",
+    "prometheus_text",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+    "per_server_load_rows",
+    "root_load_share",
+]

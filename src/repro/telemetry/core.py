@@ -1,0 +1,219 @@
+"""The telemetry recorder: span API over the event bus.
+
+:class:`Telemetry` binds a clock (the sim's virtual clock in practice),
+an :class:`~repro.telemetry.events.EventBus` and a
+:class:`~repro.telemetry.metrics.MetricsRegistry`. Spans form a stack —
+the simulation is single-threaded, so the enclosing open span is always
+the parent — and are emitted to the bus when closed.
+
+:class:`NullTelemetry` (singleton :data:`NULL_TELEMETRY`) is the
+disabled recorder: every operation is a no-op and ``span()`` returns a
+shared inert context manager, so instrumented code can call it
+unconditionally without allocating.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from .events import EventBus, TelemetryEvent
+from .metrics import MetricsRegistry
+
+
+class Span:
+    """An open (or closed) span; use as a context manager."""
+
+    __slots__ = ("telemetry", "name", "tags", "span_id", "parent_id",
+                 "start", "end", "_closed")
+
+    def __init__(
+        self,
+        telemetry: "Telemetry",
+        name: str,
+        tags: Dict[str, object],
+        span_id: int,
+        parent_id: int,
+        start: float,
+    ):
+        self.telemetry = telemetry
+        self.name = name
+        self.tags = tags
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self._closed = False
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def annotate(self, **tags) -> "Span":
+        """Attach extra tags to an open span."""
+        self.tags.update(tags)
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.telemetry._close_span(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.tags.setdefault("error", exc_type.__name__)
+        self.close()
+
+
+class _NullSpan:
+    """Shared inert span returned by :class:`NullTelemetry`."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = 0
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    tags: Dict[str, object] = {}
+
+    def annotate(self, **tags) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Event bus + span API + metrics registry behind one handle.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (sim) time in
+        seconds. Bind later with :meth:`bind_clock` when the simulator
+        does not exist yet.
+    capacity:
+        Ring-buffer size of the event bus.
+    enabled:
+        When False, ``event``/``span`` become no-ops (metrics recorded
+        through the registry directly are unaffected).
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        *,
+        capacity: int = 65536,
+        enabled: bool = True,
+    ):
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.bus = EventBus(capacity)
+        self.metrics = MetricsRegistry()
+        self.enabled = enabled
+        self._span_ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    # -- clock ----------------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- recording ----------------------------------------------------------------
+    def event(self, name: str, **tags) -> Optional[TelemetryEvent]:
+        """Record a point event at the current clock time."""
+        if not self.enabled:
+            return None
+        parent = self._stack[-1].span_id if self._stack else 0
+        ev = TelemetryEvent(
+            ts=self._clock(), name=name, kind="event", parent_id=parent,
+            tags=tags,
+        )
+        self.bus.emit(ev)
+        return ev
+
+    def span(self, name: str, **tags):
+        """Open a span; close it by exiting the ``with`` block."""
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._stack[-1].span_id if self._stack else 0
+        span = Span(
+            self, name, tags, next(self._span_ids), parent, self._clock()
+        )
+        self._stack.append(span)
+        return span
+
+    def emit_span(self, name: str, start: float, end: float, **tags) -> None:
+        """Record an already-measured interval (no nesting bookkeeping)."""
+        if not self.enabled:
+            return
+        parent = self._stack[-1].span_id if self._stack else 0
+        self.bus.emit(
+            TelemetryEvent(
+                ts=start, name=name, kind="span", dur=max(0.0, end - start),
+                span_id=next(self._span_ids), parent_id=parent, tags=tags,
+            )
+        )
+
+    def _close_span(self, span: Span) -> None:
+        span.end = self._clock()
+        # Pop up to and including this span; out-of-order closes (span
+        # closed after its parent) degrade gracefully.
+        if span in self._stack:
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+        self.bus.emit(
+            TelemetryEvent(
+                ts=span.start, name=span.name, kind="span",
+                dur=span.duration, span_id=span.span_id,
+                parent_id=span.parent_id, tags=span.tags,
+            )
+        )
+
+    # -- convenience ----------------------------------------------------------------
+    def events(self):
+        return self.bus.events()
+
+    def clear(self) -> None:
+        self.bus.clear()
+
+    def __len__(self) -> int:
+        return len(self.bus)
+
+
+class NullTelemetry(Telemetry):
+    """A telemetry recorder that records nothing, at near-zero cost."""
+
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)
+
+    def event(self, name: str, **tags) -> None:
+        return None
+
+    def span(self, name: str, **tags) -> _NullSpan:
+        return _NULL_SPAN
+
+    def emit_span(self, name: str, start: float, end: float, **tags) -> None:
+        return None
+
+
+#: shared disabled recorder for unconditional call sites
+NULL_TELEMETRY = NullTelemetry()

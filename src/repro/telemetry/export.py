@@ -1,0 +1,172 @@
+"""Telemetry exporters: JSON-Lines, Prometheus text, Chrome trace_event.
+
+* :func:`write_jsonl` / :func:`read_jsonl` — lossless event dump, one
+  JSON object per line; round-trips :class:`TelemetryEvent` exactly.
+* :func:`prometheus_text` — text-format metrics snapshot
+  (``roads_bytes_total{category="query",server="3",phase="forward"} 42``)
+  suitable for a Prometheus scrape or a plain diff in tests.
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON Object Format:
+  spans become complete (``"ph": "X"``) events and point events become
+  instants (``"ph": "i"``), timestamps in microseconds, grouped by the
+  ``server`` tag as the pid so Perfetto / ``chrome://tracing`` renders
+  one track per server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import TelemetryEvent
+from .metrics import MetricsRegistry
+
+_PathLike = Union[str, "os.PathLike[str]"]  # noqa: F821 - doc only
+
+
+# -- JSON-Lines ----------------------------------------------------------------
+def to_jsonl(events: Iterable[TelemetryEvent]) -> str:
+    return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+def write_jsonl(events: Iterable[TelemetryEvent], path) -> int:
+    """Write one JSON object per event; returns the event count."""
+    lines = [json.dumps(e.to_dict(), sort_keys=True) for e in events]
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl(path) -> List[TelemetryEvent]:
+    out: List[TelemetryEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TelemetryEvent.from_dict(json.loads(line)))
+    return out
+
+
+# -- Prometheus text format ----------------------------------------------------
+def _label_str(labels: Dict[str, str]) -> str:
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in labels.items() if v != ""
+    )
+    return "{" + inner + "}" if inner else ""
+
+
+def prometheus_text(
+    registry: MetricsRegistry, prefix: str = "roads"
+) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    rows = registry.rows()
+    lines.append(f"# HELP {prefix}_messages_total Messages per (category, server, phase).")
+    lines.append(f"# TYPE {prefix}_messages_total counter")
+    for r in rows:
+        labels = _label_str({
+            "category": str(r["category"]),
+            "server": "" if r["server"] is None else str(r["server"]),
+            "phase": str(r["phase"]),
+        })
+        lines.append(f"{prefix}_messages_total{labels} {r['messages']}")
+    lines.append(f"# HELP {prefix}_bytes_total Bytes per (category, server, phase).")
+    lines.append(f"# TYPE {prefix}_bytes_total counter")
+    for r in rows:
+        labels = _label_str({
+            "category": str(r["category"]),
+            "server": "" if r["server"] is None else str(r["server"]),
+            "phase": str(r["phase"]),
+        })
+        lines.append(f"{prefix}_bytes_total{labels} {r['bytes']}")
+    hists = registry.snapshot()["histograms"]
+    if hists:
+        lines.append(f"# HELP {prefix}_observation Streaming histogram summaries.")
+        lines.append(f"# TYPE {prefix}_observation summary")
+        for h in hists:
+            base = {
+                "name": str(h["name"]),
+                "server": "" if h["server"] is None else str(h["server"]),
+                "phase": str(h["phase"]),
+            }
+            for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                labels = _label_str({**base, "quantile": str(q)})
+                lines.append(f"{prefix}_observation{labels} {h[key]:.9g}")
+            labels = _label_str(base)
+            lines.append(f"{prefix}_observation_count{labels} {h['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path, prefix: str = "roads") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry, prefix))
+
+
+# -- Chrome trace_event format -------------------------------------------------
+def _trace_pid(event: TelemetryEvent) -> int:
+    server = event.tags.get("server")
+    if server is None:
+        server = event.tags.get("dst")
+    try:
+        return int(server)
+    except (TypeError, ValueError):
+        return 0
+
+
+def chrome_trace(
+    events: Sequence[TelemetryEvent],
+    *,
+    process_name: str = "roads",
+) -> Dict[str, object]:
+    """Convert bus events into a ``chrome://tracing``-loadable object."""
+    trace_events: List[Dict[str, object]] = []
+    pids = set()
+    for e in events:
+        pid = _trace_pid(e)
+        pids.add(pid)
+        ts_us = e.ts * 1e6
+        args = {k: v for k, v in e.tags.items()}
+        if e.kind == "span":
+            trace_events.append({
+                "name": e.name,
+                "cat": e.name.split(".")[0],
+                "ph": "X",
+                "ts": ts_us,
+                "dur": e.dur * 1e6,
+                "pid": pid,
+                "tid": e.parent_id % 32,
+                "args": args,
+            })
+        else:
+            trace_events.append({
+                "name": e.name,
+                "cat": e.name.split(".")[0],
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": ts_us,
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            })
+    for pid in sorted(pids):
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"{process_name} server {pid}"},
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Sequence[TelemetryEvent],
+    path,
+    *,
+    process_name: str = "roads",
+) -> int:
+    """Write Chrome trace JSON; returns the number of trace events."""
+    doc = chrome_trace(events, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -1,0 +1,61 @@
+"""Per-server load attribution tables.
+
+This is the observability core of the paper's bottleneck argument: in
+the basic hierarchy every query enters at the root, so the root's share
+of query-forward traffic approaches 1; with the replication overlay the
+same workload spreads across start servers (Fig. 5/7). The helpers here
+roll the :class:`~repro.telemetry.metrics.MetricsRegistry` up into rows
+suitable for :func:`repro.experiments.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+
+def per_server_load_rows(
+    registry: MetricsRegistry,
+    *,
+    category: str = "query",
+    phase: Optional[str] = "forward",
+    top: Optional[int] = None,
+    root_id: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Per-server message/byte load rows, hottest first.
+
+    Each row: ``server``, ``messages``, ``bytes``, ``share`` (of the
+    category's messages) and ``role`` (``"root"`` for the root server).
+    """
+    loads = registry.per_server(category=category, phase=phase)
+    total_msgs = sum(m for m, _ in loads.values())
+    rows = []
+    for server, (msgs, byts) in sorted(
+        loads.items(), key=lambda kv: (-kv[1][0], -kv[1][1], kv[0])
+    ):
+        rows.append({
+            "server": server,
+            "messages": msgs,
+            "bytes": byts,
+            "share": (msgs / total_msgs) if total_msgs else 0.0,
+            "role": "root" if server == root_id else "",
+        })
+    if top is not None:
+        rows = rows[:top]
+    return rows
+
+
+def root_load_share(
+    registry: MetricsRegistry,
+    root_id: int,
+    *,
+    category: str = "query",
+    phase: Optional[str] = "forward",
+) -> float:
+    """Fraction of the category's messages the root server absorbed."""
+    loads = registry.per_server(category=category, phase=phase)
+    total = sum(m for m, _ in loads.values())
+    if total == 0:
+        return 0.0
+    return loads.get(root_id, (0, 0))[0] / total

@@ -1,0 +1,329 @@
+"""Tests for the telemetry subsystem: spans, bus, histograms, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.net import DelaySpace, Network
+from repro.query import Query, RangePredicate
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.sim import MAINTENANCE, QUERY, UPDATE, MetricsCollector, Simulator
+from repro.summaries import SummaryConfig
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    EventBus,
+    MetricsRegistry,
+    StreamingHistogram,
+    Telemetry,
+    TelemetryEvent,
+    TraceEvent,
+)
+from repro.workload import WorkloadConfig, generate_node_stores
+
+
+def build_system(telemetry=None, num_nodes=16, seed=81):
+    wcfg = WorkloadConfig(num_nodes=num_nodes, records_per_node=40, seed=seed)
+    stores = generate_node_stores(wcfg)
+    return RoadsSystem.build(
+        RoadsConfig(num_nodes=num_nodes, records_per_node=40, max_children=3,
+                    summary=SummaryConfig(histogram_buckets=60), seed=seed),
+        stores,
+        telemetry=telemetry,
+    )
+
+
+def wide_query():
+    return Query.of(RangePredicate("u0", 0.0, 1.0))
+
+
+class TestSpans:
+    def test_nesting_parent_child_ids(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            with tel.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tel.span("inner2") as inner2:
+                assert inner2.parent_id == outer.span_id
+        assert outer.parent_id == 0
+        names = [e.name for e in tel.events()]
+        # Spans are emitted at close: innermost first.
+        assert names == ["inner", "inner2", "outer"]
+
+    def test_sim_clock_timestamps(self):
+        sim = Simulator()
+        tel = Telemetry(clock=lambda: sim.now)
+        with tel.span("epoch") as span:
+            sim.schedule(2.5, lambda: None)
+            sim.run()
+        ev = tel.events()[0]
+        assert ev.ts == 0.0
+        assert ev.dur == pytest.approx(2.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_events_inherit_open_span_parent(self):
+        tel = Telemetry()
+        with tel.span("outer") as outer:
+            ev = tel.event("ping", x=1)
+        assert ev.parent_id == outer.span_id
+        assert ev.tags == {"x": 1}
+
+    def test_span_tags_and_annotate(self):
+        tel = Telemetry()
+        with tel.span("s", server=7) as span:
+            span.annotate(extra="yes")
+        emitted = tel.events()[0]
+        assert emitted.tags == {"server": 7, "extra": "yes"}
+
+    def test_emit_span_interval(self):
+        tel = Telemetry()
+        tel.emit_span("transit", 1.0, 1.5, server=3)
+        ev = tel.events()[0]
+        assert (ev.ts, ev.dur, ev.kind) == (1.0, 0.5, "span")
+
+    def test_disabled_records_nothing(self):
+        tel = Telemetry(enabled=False)
+        with tel.span("s"):
+            tel.event("e")
+        assert len(tel) == 0
+
+    def test_null_telemetry_is_inert(self):
+        span = NULL_TELEMETRY.span("anything", server=1)
+        with span:
+            NULL_TELEMETRY.event("e")
+        assert len(NULL_TELEMETRY) == 0
+
+
+class TestEventBus:
+    def test_ring_buffer_eviction(self):
+        bus = EventBus(capacity=3)
+        for i in range(5):
+            bus.emit(TelemetryEvent(ts=float(i), name=f"e{i}"))
+        assert len(bus) == 3
+        assert bus.emitted == 5
+        assert bus.dropped == 2
+        assert [e.name for e in bus.events()] == ["e2", "e3", "e4"]
+
+    def test_subscribe_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe(seen.append)
+        bus.emit(TelemetryEvent(ts=0.0, name="a"))
+        unsub()
+        bus.emit(TelemetryEvent(ts=0.0, name="b"))
+        assert [e.name for e in seen] == ["a"]
+
+    def test_drain(self):
+        bus = EventBus()
+        bus.emit(TelemetryEvent(ts=0.0, name="a"))
+        assert [e.name for e in bus.drain()] == ["a"]
+        assert len(bus) == 0
+
+
+class TestStreamingHistogram:
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal"])
+    def test_percentiles_vs_numpy(self, dist):
+        rng = np.random.default_rng(3)
+        if dist == "uniform":
+            samples = rng.uniform(0.001, 2.0, size=20_000)
+        else:
+            samples = rng.lognormal(mean=-2.0, sigma=1.0, size=20_000)
+        h = StreamingHistogram()
+        h.record_many(samples)
+        for pct in (50, 90, 95, 99):
+            ref = float(np.percentile(samples, pct))
+            got = h.percentile(pct)
+            assert got == pytest.approx(ref, rel=0.05), (pct, ref, got)
+
+    def test_mean_min_max_exact(self):
+        h = StreamingHistogram()
+        h.record_many([0.1, 0.2, 0.3])
+        assert h.mean == pytest.approx(0.2)
+        assert h.min == pytest.approx(0.1)
+        assert h.max == pytest.approx(0.3)
+
+    def test_empty(self):
+        h = StreamingHistogram()
+        assert h.percentile(99) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_merge(self):
+        a, b = StreamingHistogram(), StreamingHistogram()
+        a.record_many([0.1] * 50)
+        b.record_many([1.0] * 50)
+        a.merge(b)
+        assert a.count == 100
+        assert a.percentile(25) == pytest.approx(0.1, rel=0.05)
+        assert a.percentile(75) == pytest.approx(1.0, rel=0.05)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().record(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_per_server_attribution(self):
+        r = MetricsRegistry()
+        r.count_message("query", 100, server=1, phase="forward")
+        r.count_message("query", 50, server=1, phase="forward")
+        r.count_message("query", 30, server=2, phase="forward")
+        r.count_message("query", 10, server=1, phase="response")
+        assert r.per_server("query", "forward") == {1: (2, 150), 2: (1, 30)}
+        assert r.per_server("query") == {1: (3, 160), 2: (1, 30)}
+        assert r.bytes_total("query") == 190
+        assert r.messages_total("query") == 4
+
+    def test_uncount_rolls_back(self):
+        r = MetricsRegistry()
+        r.count_message("query", 100, server=1)
+        r.uncount_message("query", 100, server=1)
+        assert r.bytes_total("query") == 0
+        assert r.messages_total("query") == 0
+
+    def test_reset_selected_categories(self):
+        r = MetricsRegistry()
+        r.count_message("query", 10, server=1)
+        r.count_message("update", 20, server=1)
+        r.reset(["query"])
+        assert r.bytes_total("query") == 0
+        assert r.bytes_total("update") == 20
+
+    def test_rows_deterministic_order(self):
+        r = MetricsRegistry()
+        r.count_message("query", 1, server=2)
+        r.count_message("query", 1, server=1)
+        r.count_message("query", 1)
+        rows = r.rows()
+        assert [row["server"] for row in rows] == [None, 1, 2]
+
+    def test_merged_histogram(self):
+        r = MetricsRegistry()
+        r.observe("lat", 0.1, server=1)
+        r.observe("lat", 0.2, server=2)
+        assert r.merged_histogram("lat").count == 2
+
+
+class TestMetricsCollectorFacade:
+    def test_plain_dict_views_no_mutation_on_read(self):
+        m = MetricsCollector()
+        m.record_message(UPDATE, 100)
+        view = m.bytes_by_category
+        assert isinstance(view, dict)
+        assert view.get("missing") is None
+        # Reading an absent category must not materialise an entry.
+        assert m.bytes("missing") == 0
+        assert "missing" not in m.bytes_by_category
+        assert "missing" not in m.snapshot()
+
+    def test_server_attribution_through_facade(self):
+        m = MetricsCollector()
+        m.record_message(QUERY, 64, server=3, phase="forward")
+        m.record_message(QUERY, 64)
+        assert m.bytes(QUERY) == 128
+        assert m.per_server(QUERY, "forward") == {3: (1, 64)}
+
+    def test_latency_feeds_histogram(self):
+        m = MetricsCollector()
+        m.record_latency(0.25, server=4)
+        assert m.mean_latency() == pytest.approx(0.25)
+        assert m.registry.histogram("latency", server=4).count == 1
+
+
+class TestPerNetworkMessageIds:
+    def test_independent_networks_repeat_ids(self):
+        def ids():
+            sim = Simulator()
+            net = Network(sim, DelaySpace(4, np.random.default_rng(0)),
+                          MetricsCollector())
+            return [net.send(0, 1, QUERY, 8).msg_id for _ in range(3)]
+
+        assert ids() == ids() == [0, 1, 2]
+
+    def test_rollback_on_failed_sender(self):
+        sim = Simulator()
+        net = Network(sim, DelaySpace(4, np.random.default_rng(0)),
+                      MetricsCollector())
+        net.fail_node(0)
+        net.send(0, 1, QUERY, 100)
+        assert net.metrics.bytes(QUERY) == 0
+        assert net.metrics.messages(QUERY) == 0
+        assert net.metrics.per_server(QUERY) == {}
+
+
+class TestSystemIntegration:
+    def test_trace_events_back_compat_tuple_view(self):
+        system = build_system()
+        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        assert o.trace_events
+        assert o.trace is o.trace_events
+        for entry in o.trace:
+            t, event, subject, detail = entry
+            assert entry[0] == t and entry[1] == event
+            assert entry[3] == detail and len(entry) == 4
+            assert isinstance(entry, TraceEvent)
+
+    def test_trace_false_adds_zero_events(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        baseline = tel.bus.emitted
+        o = system.execute_query(wide_query(), client_node=0, trace=False)
+        assert o.trace_events == []
+        assert o.trace == []
+        # The bus still sees query.* structured events...
+        assert tel.bus.emitted > baseline
+        # ...but a system without telemetry records nothing anywhere.
+        plain = build_system()
+        o2 = plain.execute_query(wide_query(), client_node=0, trace=False)
+        assert o2.trace == []
+
+    def test_disabled_telemetry_records_zero_events(self):
+        tel = Telemetry(enabled=False)
+        system = build_system(telemetry=tel)
+        system.execute_query(wide_query(), client_node=0)
+        system.refresh()
+        assert len(tel) == 0
+        assert tel.bus.emitted == 0
+
+    def test_query_span_emitted_with_sim_times(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        o = system.execute_query(wide_query(), client_node=0)
+        spans = [e for e in tel.events() if e.name == "query.execute"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span.kind == "span"
+        assert span.dur >= o.latency
+        assert span.tags["servers"] == o.servers_contacted
+        assert span.tags["matches"] == o.total_matches
+
+    def test_update_round_spans_and_attribution(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        system.refresh()
+        names = {e.name for e in tel.events()}
+        assert "update.aggregate" in names
+        assert "update.replicate" in names
+        per_server = system.metrics.per_server(UPDATE, "aggregate")
+        # Every non-leaf server received at least one child report.
+        parents = {s.server_id for s in system.hierarchy if s.children}
+        assert parents == set(per_server)
+
+    def test_query_forward_load_attribution(self):
+        system = build_system()
+        o = system.execute_query(wide_query(), client_node=0)
+        loads = system.metrics.per_server(QUERY, "forward")
+        assert set(loads) == set(o.arrivals)
+        assert sum(m for m, _ in loads.values()) == o.servers_contacted
+
+    def test_maintenance_events_on_failure(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        proto = system.enable_maintenance()
+        victim = next(
+            s for s in system.hierarchy if not s.is_root and not s.children
+        )
+        proto.fail(victim)
+        system.sim.run(until=120.0)
+        names = [e.name for e in tel.events()]
+        assert "maintenance.fail" in names
+        assert "maintenance.failure_detected" in names
+        hb = system.metrics.per_server(MAINTENANCE, "heartbeat")
+        assert hb and all(m > 0 for m, _ in hb.values())

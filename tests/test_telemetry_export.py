@@ -1,0 +1,133 @@
+"""Exporter round-trips and the `repro telemetry` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_telemetry():
+    tel = Telemetry()
+    clock = {"t": 0.0}
+    tel.bind_clock(lambda: clock["t"])
+    with tel.span("query.execute", server=3, client=1):
+        clock["t"] = 0.1
+        tel.event("query.send", server=5, bytes=160)
+        clock["t"] = 0.4
+    tel.emit_span("net.transit", 0.1, 0.25, src=1, server=5,
+                  category="query")
+    return tel
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tel = sample_telemetry()
+        path = tmp_path / "events.jsonl"
+        n = write_jsonl(tel.events(), path)
+        assert n == 3
+        back = read_jsonl(path)
+        assert back == tel.events()
+
+    def test_lines_are_json_objects(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(sample_telemetry().events(), path)
+        for line in path.read_text().splitlines():
+            obj = json.loads(line)
+            assert {"ts", "name", "kind", "tags"} <= set(obj)
+
+
+class TestChromeTrace:
+    def test_schema_keys(self):
+        doc = chrome_trace(sample_telemetry().events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "i", "M"} <= phases
+        for e in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert "dur" in e and e["dur"] >= 0
+            if e["ph"] != "M":
+                assert e["ts"] >= 0
+
+    def test_microsecond_timestamps(self):
+        doc = chrome_trace(sample_telemetry().events())
+        transit = next(
+            e for e in doc["traceEvents"] if e["name"] == "net.transit"
+        )
+        assert transit["ts"] == pytest.approx(0.1e6)
+        assert transit["dur"] == pytest.approx(0.15e6)
+        assert transit["pid"] == 5  # grouped by the server tag
+
+    def test_write_is_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(sample_telemetry().events(), path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+
+
+class TestPrometheus:
+    def test_counter_lines(self):
+        r = MetricsRegistry()
+        r.count_message("query", 100, server=3, phase="forward")
+        r.observe("query.latency", 0.2, server=3)
+        text = prometheus_text(r)
+        assert (
+            'roads_messages_total{category="query",server="3",phase="forward"} 1'
+            in text
+        )
+        assert (
+            'roads_bytes_total{category="query",server="3",phase="forward"} 100'
+            in text
+        )
+        assert "# TYPE roads_messages_total counter" in text
+        assert 'quantile="0.95"' in text
+
+    def test_lines_parse(self):
+        r = MetricsRegistry()
+        r.count_message("update", 10)
+        for line in prometheus_text(r).splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_labels, value = line.rsplit(" ", 1)
+            float(value)
+            assert name_labels.startswith("roads_")
+
+
+class TestCli:
+    def test_telemetry_command_prints_load_table(self, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        prom = tmp_path / "metrics.prom"
+        rc = main([
+            "telemetry", "--nodes", "16", "--records", "30",
+            "--queries", "8", "--seed", "3", "--top", "5",
+            "--export-chrome", str(chrome),
+            "--export-jsonl", str(jsonl),
+            "--export-prom", str(prom),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "root-load share (with overlay)" in out
+        assert "root-load share (without overlay" in out
+        assert "query latency" in out
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert read_jsonl(jsonl)
+        assert "roads_bytes_total" in prom.read_text()
+
+    def test_selftest_telemetry_flag(self, capsys):
+        rc = main(["selftest", "--seed", "1", "--telemetry"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert "root-load share" in out
