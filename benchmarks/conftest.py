@@ -4,25 +4,23 @@ Every benchmark regenerates one of the paper's tables/figures and prints
 the same rows/series the paper reports, then asserts the qualitative
 shape (who wins, growth order, approximate factor, crossover position).
 
-Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable
+and resolved by :mod:`repro.bench` — the same presets behind
+``python -m repro bench run``:
 
 * ``quick`` (default) — reduced sweeps/runs; minutes, same shapes;
 * ``paper`` — the full Section V configuration (320-640 nodes, 500
   queries, 10 runs); expect a long run.
 """
 
-import os
-
 import pytest
 
+from repro.bench import resolve_scale, scale_settings, scale_sweeps
 from repro.experiments import ExperimentSettings
 
 
 def bench_scale() -> str:
-    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-    if scale not in ("quick", "paper"):
-        raise ValueError(f"REPRO_BENCH_SCALE must be quick|paper, got {scale!r}")
-    return scale
+    return resolve_scale("quick", allowed=("quick", "paper"))
 
 
 @pytest.fixture(scope="session")
@@ -32,45 +30,37 @@ def scale() -> str:
 
 @pytest.fixture(scope="session")
 def settings(scale) -> ExperimentSettings:
-    if scale == "paper":
-        return ExperimentSettings.paper()
-    # Reduced: fewer queries and runs, paper-default structure otherwise.
-    return ExperimentSettings.paper().with_(num_queries=60, runs=1)
+    return scale_settings(scale)
 
 
 @pytest.fixture(scope="session")
-def node_sweep(scale):
-    if scale == "paper":
-        return tuple(range(64, 641, 64))
-    return (64, 192, 320)
+def sweeps(scale):
+    return scale_sweeps(scale)
 
 
 @pytest.fixture(scope="session")
-def dimension_sweep(scale):
-    if scale == "paper":
-        return tuple(range(2, 9))
-    return (2, 4, 6, 8)
+def node_sweep(sweeps):
+    return sweeps["nodes"]
 
 
 @pytest.fixture(scope="session")
-def records_sweep(scale):
-    if scale == "paper":
-        return (50, 100, 150, 200, 250, 300, 350, 400, 450, 500)
-    return (50, 200, 500)
+def dimension_sweep(sweeps):
+    return sweeps["dims"]
 
 
 @pytest.fixture(scope="session")
-def overlap_sweep(scale):
-    if scale == "paper":
-        return tuple(range(1, 13))
-    return (1, 4, 8, 12)
+def records_sweep(sweeps):
+    return sweeps["records"]
 
 
 @pytest.fixture(scope="session")
-def degree_sweep(scale):
-    if scale == "paper":
-        return tuple(range(4, 13))
-    return (4, 8, 12)
+def overlap_sweep(sweeps):
+    return sweeps["overlap"]
+
+
+@pytest.fixture(scope="session")
+def degree_sweep(sweeps):
+    return sweeps["degree"]
 
 
 def run_once(benchmark, fn):

@@ -9,20 +9,27 @@ Usage::
 
 ``--scale quick`` (default) runs reduced sweeps in minutes; ``paper``
 runs the full Section V configuration (expect a long run).
+
+``--bench-artifact DIR`` additionally runs each target through the
+benchmark observatory (``repro.bench``) and writes a provenance-stamped
+``BENCH_<target>.json`` to *DIR* — the same artifacts ``repro bench
+run`` produces and ``repro bench compare`` consumes.
 """
 
 import argparse
 import sys
 import time
 
+from repro.bench import (
+    SCENARIOS,
+    artifact_filename,
+    run_scenario,
+    scale_settings,
+    scale_sweeps,
+    write_artifact,
+)
 from repro.experiments import (
-    DEGREE_SWEEP,
-    DIMENSION_SWEEP,
-    NODE_SWEEP,
-    OVERLAP_SWEEP,
-    RECORDS_SWEEP,
     SELECTIVITY_SWEEP,
-    ExperimentSettings,
     analytical_rows,
     analytical_update_rows,
     fig3_latency_vs_nodes,
@@ -37,22 +44,6 @@ from repro.experiments import (
     measured_rows,
     print_table,
 )
-
-QUICK_SWEEPS = {
-    "nodes": (64, 192, 320),
-    "dims": (2, 4, 6, 8),
-    "records": (50, 200, 500),
-    "overlap": (1, 4, 8, 12),
-    "degree": (4, 8, 12),
-}
-PAPER_SWEEPS = {
-    "nodes": NODE_SWEEP,
-    "dims": DIMENSION_SWEEP,
-    "records": RECORDS_SWEEP,
-    "overlap": OVERLAP_SWEEP,
-    "degree": DEGREE_SWEEP,
-}
-
 
 def build_registry(settings, sweeps, scale):
     small = settings.with_(num_nodes=min(settings.num_nodes, 192))
@@ -124,16 +115,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--bench-artifact",
+        metavar="DIR",
+        help="also write a BENCH_<target>.json benchmark artifact per "
+        "target to DIR (see `python -m repro bench`)",
+    )
     args = parser.parse_args(argv)
 
-    if args.scale == "paper":
-        settings = ExperimentSettings.paper().with_(seed=args.seed)
-        sweeps = PAPER_SWEEPS
-    else:
-        settings = ExperimentSettings.paper().with_(
-            num_queries=60, runs=1, seed=args.seed
-        )
-        sweeps = QUICK_SWEEPS
+    settings = scale_settings(args.scale, args.seed)
+    sweeps = scale_sweeps(args.scale)
 
     registry = build_registry(settings, sweeps, args.scale)
     targets = (
@@ -148,6 +139,13 @@ def main(argv=None) -> int:
         print(f"=== {target} (scale={args.scale}) ===")
         registry[target]()
         print(f"--- {target} done in {time.time() - t0:.1f}s ---\n")
+        if args.bench_artifact and target in SCENARIOS:
+            artifact = run_scenario(target, scale=args.scale, seed=args.seed)
+            path = write_artifact(
+                artifact, f"{args.bench_artifact}/{artifact_filename(target)}"
+            )
+            status = "ok" if artifact.ok else "SHAPE FAIL"
+            print(f"    bench artifact [{status}] -> {path}\n")
     return 0
 
 

@@ -1,0 +1,89 @@
+"""Benchmark observatory: perf artifacts, trajectory and regression gate.
+
+The subsystem behind ``python -m repro bench``:
+
+* :mod:`repro.bench.scenarios` — a registry wrapping the figure drivers
+  behind a uniform ``run_scenario(name, scale) -> BenchArtifact`` API;
+* :mod:`repro.bench.artifact` — the canonical ``BENCH_<scenario>.json``
+  format (provenance stamp, paper-series rows, registry-derived
+  simulated metrics, wall-clock section profile);
+* :mod:`repro.bench.profiler` — ``time.perf_counter`` section timers
+  threaded through the sim engine, transport, aggregation and query
+  path (free when no profiler is attached);
+* :mod:`repro.bench.compare` — tolerance-banded artifact diffing plus
+  paper-shape re-assertion (the CI regression sentinel);
+* :mod:`repro.bench.trajectory` — the append-only
+  ``BENCH_trajectory.json`` perf time series.
+"""
+
+from .artifact import (
+    SCHEMA,
+    BenchArtifact,
+    artifact_filename,
+    config_fingerprint,
+    git_rev,
+    load_artifact,
+    validate_artifact,
+    write_artifact,
+)
+from .compare import (
+    DEFAULT_TOLERANCE,
+    DEFAULT_WALL_TOLERANCE,
+    ComparisonResult,
+    MetricDelta,
+    compare_artifacts,
+    format_comparison,
+)
+from .profiler import WallClockProfiler
+from .scenarios import (
+    ROOT_SHARE_CEILING,
+    SCALES,
+    SCENARIOS,
+    Scenario,
+    available_scenarios,
+    resolve_scale,
+    run_scenario,
+    scale_settings,
+    scale_sweeps,
+)
+from .trajectory import (
+    TRAJECTORY_FILENAME,
+    TRAJECTORY_SCHEMA,
+    append_trajectory,
+    format_trajectory,
+    load_trajectory,
+    trajectory_row,
+)
+
+__all__ = [
+    "BenchArtifact",
+    "SCHEMA",
+    "artifact_filename",
+    "config_fingerprint",
+    "git_rev",
+    "load_artifact",
+    "validate_artifact",
+    "write_artifact",
+    "ComparisonResult",
+    "MetricDelta",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WALL_TOLERANCE",
+    "compare_artifacts",
+    "format_comparison",
+    "WallClockProfiler",
+    "Scenario",
+    "SCENARIOS",
+    "SCALES",
+    "ROOT_SHARE_CEILING",
+    "available_scenarios",
+    "resolve_scale",
+    "run_scenario",
+    "scale_settings",
+    "scale_sweeps",
+    "TRAJECTORY_FILENAME",
+    "TRAJECTORY_SCHEMA",
+    "append_trajectory",
+    "format_trajectory",
+    "load_trajectory",
+    "trajectory_row",
+]

@@ -1,0 +1,182 @@
+"""Artifact comparison with per-metric tolerance bands.
+
+``repro bench compare`` diffs a freshly produced ``BENCH_*.json``
+against a committed baseline:
+
+* **simulated metrics** (``sim.*``, ``rows.*``) are deterministic for a
+  fixed seed, so they get a tight symmetric band (default 5%) — any
+  drift means the system's behaviour changed;
+* **wall-clock metrics** (``wall.*``) are hardware-dependent and only
+  fail in the *regression* direction (slower sections, lower
+  events/sec), with a wide band (default 30%);
+* the scenario's **paper-shape invariants** are re-asserted on the
+  current rows (ROADS below SWORD on latency, ROADS update bytes flat in
+  records/node, overlay root-share under the ceiling), so a run that
+  stays within tolerance but flips a qualitative claim still fails.
+
+A config-fingerprint mismatch is a hard failure: metric deltas between
+different configurations are meaningless, and baselines must be
+regenerated deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .artifact import BenchArtifact
+from .scenarios import SCENARIOS, _simulated_invariants
+
+#: symmetric band for deterministic simulated metrics
+DEFAULT_TOLERANCE = 0.05
+#: regression-only band for wall-clock metrics
+DEFAULT_WALL_TOLERANCE = 0.30
+
+#: wall metrics where *higher* is better (throughput rather than time)
+_HIGHER_IS_BETTER = frozenset({"wall.events_per_sec"})
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline/current pair and its verdict."""
+
+    name: str
+    baseline: float
+    current: float
+    #: signed relative change, ``(current - baseline) / |baseline|``
+    rel_change: float
+    tolerance: float
+    ok: bool
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "metric": self.name,
+            "baseline": f"{self.baseline:.6g}",
+            "current": f"{self.current:.6g}",
+            "change": f"{self.rel_change:+.1%}",
+            "band": f"±{self.tolerance:.0%}" if not self.name.startswith(
+                "wall."
+            ) else f"+{self.tolerance:.0%}",
+            "ok": "ok" if self.ok else "FAIL",
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one artifact-vs-baseline comparison."""
+
+    scenario: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: hard failures (config mismatch, missing metrics, shape breaks)
+    failures: List[str] = field(default_factory=list)
+    shape_failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.failures
+            and not self.shape_failures
+            and all(d.ok for d in self.deltas)
+        )
+
+    def failed_deltas(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if not d.ok]
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for msg in self.failures:
+            lines.append(f"[FAIL] {msg}")
+        for msg in self.shape_failures:
+            lines.append(f"[FAIL] shape: {msg}")
+        for d in self.failed_deltas():
+            lines.append(
+                f"[FAIL] {d.name}: {d.baseline:.6g} -> {d.current:.6g} "
+                f"({d.rel_change:+.1%}, band {d.tolerance:.0%})"
+            )
+        if not lines:
+            lines.append(
+                f"[ok] {self.scenario}: {len(self.deltas)} metrics within "
+                "tolerance, shape invariants hold"
+            )
+        return lines
+
+
+def _rel_change(baseline: float, current: float) -> float:
+    denom = max(abs(baseline), 1e-12)
+    return (current - baseline) / denom
+
+
+def compare_artifacts(
+    current: BenchArtifact,
+    baseline: BenchArtifact,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    include_wall: bool = True,
+) -> ComparisonResult:
+    """Diff *current* against *baseline*; see the module docstring."""
+    result = ComparisonResult(scenario=current.scenario)
+
+    for attr in ("scenario", "scale", "seed"):
+        cur, base = getattr(current, attr), getattr(baseline, attr)
+        if cur != base:
+            result.failures.append(
+                f"{attr} mismatch: current={cur!r} baseline={base!r}"
+            )
+    if current.config_fingerprint != baseline.config_fingerprint:
+        result.failures.append(
+            "config fingerprint mismatch "
+            f"(current={current.config_fingerprint} "
+            f"baseline={baseline.config_fingerprint}); regenerate the "
+            "baseline if the settings change was intentional"
+        )
+    if result.failures:
+        return result
+
+    for name in sorted(baseline.metrics):
+        base_val = float(baseline.metrics[name])
+        if name not in current.metrics:
+            if name.startswith("wall.") and not include_wall:
+                continue
+            result.failures.append(f"metric {name} missing from current run")
+            continue
+        cur_val = float(current.metrics[name])
+        rel = _rel_change(base_val, cur_val)
+        if name.startswith("wall."):
+            if not include_wall:
+                continue
+            tol = wall_tolerance
+            # Regression-only: slower sections / lower throughput fail.
+            bad = rel < -tol if name in _HIGHER_IS_BETTER else rel > tol
+            ok = not bad
+        else:
+            tol = tolerance
+            ok = abs(rel) <= tol
+        result.deltas.append(
+            MetricDelta(
+                name=name, baseline=base_val, current=cur_val,
+                rel_change=rel, tolerance=tol, ok=ok,
+            )
+        )
+
+    # Re-assert the paper-shape invariants on the *current* artifact.
+    scenario = SCENARIOS.get(current.scenario)
+    if scenario is not None and scenario.shape is not None:
+        result.shape_failures += scenario.shape(current.rows)
+    if current.simulated:
+        result.shape_failures += _simulated_invariants(current.simulated)
+    return result
+
+
+def format_comparison(
+    result: ComparisonResult, *, verbose: bool = False
+) -> str:
+    """Human-readable report; failed metrics always listed."""
+    from ..experiments.report import format_table
+
+    parts: List[str] = []
+    shown = result.deltas if verbose else result.failed_deltas()
+    if shown:
+        parts.append(format_table([d.row() for d in shown]))
+    parts.extend(result.summary_lines())
+    return "\n".join(parts)

@@ -1,0 +1,419 @@
+"""Scenario registry: uniform ``run(scenario, scale) -> BenchArtifact``.
+
+Wraps the existing figure drivers (:mod:`repro.experiments.figures`) and
+the instrumented overlay/load scenario behind one API. Every run:
+
+* executes the scenario's driver at the requested scale (the paper
+  series rows),
+* executes one telemetry-instrumented canonical run at the same scale —
+  with and without the replication overlay — pulling latency
+  p50/p95/p99 from the registry's streaming histograms, query/update
+  byte totals, the per-server load distribution and the root-load share,
+* threads a :class:`~repro.bench.profiler.WallClockProfiler` through
+  the sim engine, transport, aggregation and query path for the
+  wall-clock hot-path map plus events-processed-per-second,
+* re-checks the scenario's paper-shape validators,
+
+and returns a provenance-stamped :class:`~repro.bench.artifact.
+BenchArtifact` ready for ``BENCH_<scenario>.json``.
+
+Scales: ``smoke`` (unit-test sized), ``quick`` (CI-sized, the
+EXPERIMENTS.md default) and ``paper`` (full Section V), selected
+explicitly or via the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..experiments.config import (
+    DEGREE_SWEEP,
+    DIMENSION_SWEEP,
+    NODE_SWEEP,
+    OVERLAP_SWEEP,
+    RECORDS_SWEEP,
+    SELECTIVITY_SWEEP,
+    ExperimentSettings,
+)
+from ..experiments.figures import (
+    fig3_latency_vs_nodes,
+    fig4_update_overhead_vs_nodes,
+    fig5_query_overhead_vs_nodes,
+    fig6_latency_vs_dimensions,
+    fig7_query_overhead_vs_dimensions,
+    fig8_update_overhead_vs_records,
+    fig9_latency_vs_overlap,
+    fig10_latency_vs_degree,
+    fig11_response_time_vs_selectivity,
+)
+from ..experiments.runner import instrumented_query_run
+from ..experiments.table1 import analytical_rows, measured_rows
+from ..experiments.validation import (
+    validate_fig3,
+    validate_fig4,
+    validate_fig5,
+    validate_fig8,
+    validate_fig11,
+)
+from .artifact import BenchArtifact, SCHEMA, stamp
+from .profiler import WallClockProfiler
+
+#: allowed benchmark scales, smallest first
+SCALES = ("smoke", "quick", "paper")
+
+#: root-load share the overlay must stay under (the paper's Fig. 5/7
+#: bottleneck argument: replicated start servers spread the entry load)
+ROOT_SHARE_CEILING = 0.70
+
+
+def resolve_scale(
+    default: str = "quick",
+    *,
+    env: str = "REPRO_BENCH_SCALE",
+    allowed: Sequence[str] = SCALES,
+) -> str:
+    """Scale from the environment (``REPRO_BENCH_SCALE``) or *default*."""
+    scale = os.environ.get(env, default).lower()
+    if scale not in allowed:
+        raise ValueError(
+            f"{env} must be one of {'|'.join(allowed)}, got {scale!r}"
+        )
+    return scale
+
+
+def scale_settings(scale: str, seed: int = 1) -> ExperimentSettings:
+    """The :class:`ExperimentSettings` preset behind each scale name."""
+    if scale == "paper":
+        return ExperimentSettings.paper().with_(seed=seed)
+    if scale == "quick":
+        # The EXPERIMENTS.md / suite quick preset: paper structure,
+        # fewer samples.
+        return ExperimentSettings.paper().with_(
+            num_queries=60, runs=1, seed=seed
+        )
+    if scale == "smoke":
+        return ExperimentSettings.smoke().with_(seed=seed)
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+def scale_sweeps(scale: str) -> Dict[str, tuple]:
+    """Per-figure sweep points for each scale."""
+    if scale == "paper":
+        return {
+            "nodes": NODE_SWEEP,
+            "dims": DIMENSION_SWEEP,
+            "records": RECORDS_SWEEP,
+            "overlap": OVERLAP_SWEEP,
+            "degree": DEGREE_SWEEP,
+            "selectivity": SELECTIVITY_SWEEP,
+            "queries_per_group": 200,
+        }
+    if scale == "quick":
+        return {
+            "nodes": (64, 192, 320),
+            "dims": (2, 4, 6, 8),
+            "records": (50, 200, 500),
+            "overlap": (1, 4, 8, 12),
+            "degree": (4, 8, 12),
+            "selectivity": SELECTIVITY_SWEEP,
+            "queries_per_group": 20,
+        }
+    if scale == "smoke":
+        return {
+            "nodes": (32, 64),
+            "dims": (2, 6),
+            "records": (50, 150),
+            "overlap": (1, 8),
+            "degree": (4, 8),
+            "selectivity": (0.001, 0.01, 0.03),
+            "queries_per_group": 8,
+        }
+    raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+Rows = List[Dict[str, object]]
+Driver = Callable[[ExperimentSettings, Dict[str, tuple]], Rows]
+Shape = Callable[[Rows], List[str]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    title: str
+    driver: Driver
+    #: row-level paper-shape validator (None = provenance-only)
+    shape: Optional[Shape] = None
+
+
+def _small(settings: ExperimentSettings) -> ExperimentSettings:
+    return settings.with_(num_nodes=min(settings.num_nodes, 192))
+
+
+def _validate_table1(rows: Rows) -> List[str]:
+    by_design = {
+        r["design"]: float(r["mean_bytes_per_server"])
+        for r in rows
+        if "mean_bytes_per_server" in r
+    }
+    failures = []
+    if not {"ROADS", "SWORD", "Central"} <= set(by_design):
+        return ["measured Table I rows missing a design"]
+    if not by_design["ROADS"] < by_design["SWORD"] < by_design["Central"]:
+        failures.append(
+            "storage ordering ROADS < SWORD < Central violated: "
+            f"{by_design}"
+        )
+    return failures
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "table1", "Table I: per-server storage",
+            lambda s, sw: analytical_rows() + measured_rows(
+                s.with_(num_nodes=min(s.num_nodes, 96),
+                        records_per_node=min(s.records_per_node, 800))
+            ),
+            _validate_table1,
+        ),
+        Scenario(
+            "fig3", "Figure 3: latency vs nodes",
+            lambda s, sw: fig3_latency_vs_nodes(s, sw["nodes"]),
+            validate_fig3,
+        ),
+        Scenario(
+            "fig4", "Figure 4: update overhead vs nodes",
+            lambda s, sw: fig4_update_overhead_vs_nodes(s, sw["nodes"]),
+            validate_fig4,
+        ),
+        Scenario(
+            "fig5", "Figure 5: query overhead vs nodes",
+            lambda s, sw: fig5_query_overhead_vs_nodes(s, sw["nodes"]),
+            validate_fig5,
+        ),
+        Scenario(
+            "fig6", "Figure 6: latency vs dimensions",
+            lambda s, sw: fig6_latency_vs_dimensions(s, sw["dims"]),
+        ),
+        Scenario(
+            "fig7", "Figure 7: query overhead vs dimensions",
+            lambda s, sw: fig7_query_overhead_vs_dimensions(s, sw["dims"]),
+        ),
+        Scenario(
+            "fig8", "Figure 8: update overhead vs records/node",
+            lambda s, sw: fig8_update_overhead_vs_records(
+                _small(s), sw["records"]
+            ),
+            validate_fig8,
+        ),
+        Scenario(
+            "fig9", "Figure 9: latency vs overlap factor",
+            lambda s, sw: fig9_latency_vs_overlap(_small(s), sw["overlap"]),
+        ),
+        Scenario(
+            "fig10", "Figure 10: latency vs node degree",
+            lambda s, sw: fig10_latency_vs_degree(s, sw["degree"]),
+        ),
+        Scenario(
+            "fig11", "Figure 11: response time vs selectivity",
+            lambda s, sw: fig11_response_time_vs_selectivity(
+                s.with_(runs=1),
+                sw["selectivity"],
+                queries_per_group=sw["queries_per_group"],
+            ),
+            validate_fig11,
+        ),
+        Scenario(
+            "overlay", "Per-server load attribution (overlay on/off)",
+            lambda s, sw: [],  # rows come from the instrumented run
+        ),
+    )
+}
+
+
+def available_scenarios() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+# -- instrumented canonical run ------------------------------------------------
+def _instrumented_block(
+    settings: ExperimentSettings,
+    seed: int,
+    profiler: Optional[WallClockProfiler],
+    *,
+    capacity: int = 200_000,
+) -> Dict[str, object]:
+    """Registry-derived simulated metrics + per-server load rows.
+
+    Runs the shared trial workload twice — with the replication overlay
+    (profiled) and without it (root entry) — plus one summary epoch, and
+    rolls the per-(server, category, phase) registry up into a
+    JSON-friendly block.
+    """
+    from ..sim.metrics import QUERY, UPDATE
+    from ..telemetry import (
+        Telemetry,
+        per_server_load_rows,
+        root_load_share,
+    )
+
+    tel = Telemetry(capacity=capacity)
+    if profiler is not None:
+        tel.attach_profiler(profiler)
+    system, tel, root_id = instrumented_query_run(
+        settings, seed, use_overlay=True, telemetry=tel
+    )
+    update_report = system.refresh()
+    num_queries = settings.num_queries
+    registry = system.metrics.registry
+    latency = registry.merged_histogram("query.latency").summary()
+    load_rows = per_server_load_rows(
+        registry, category=QUERY, phase="forward", top=10, root_id=root_id
+    )
+    share_with = root_load_share(
+        registry, root_id, category=QUERY, phase="forward"
+    )
+
+    # Baseline hierarchy (no overlay): every query enters at the root.
+    system2, _, root2 = instrumented_query_run(
+        settings, seed, use_overlay=False
+    )
+    share_without = root_load_share(
+        system2.metrics.registry, root2, category=QUERY, phase="forward"
+    )
+
+    return {
+        "num_queries": num_queries,
+        "latency": latency,
+        "query_bytes_total": registry.bytes_total(QUERY),
+        "query_messages_total": registry.messages_total(QUERY),
+        "update_bytes_epoch": update_report.total_bytes,
+        "update_messages_epoch": update_report.total_messages,
+        "root_share_overlay": share_with,
+        "root_share_no_overlay": share_without,
+        "top_server_share": load_rows[0]["share"] if load_rows else 0.0,
+        "per_server_load": load_rows,
+        "events_processed": system.sim.processed,
+        "events_emitted": tel.bus.emitted,
+    }
+
+
+def _simulated_invariants(sim: Dict[str, object]) -> List[str]:
+    """Paper-shape checks on the instrumented block (any scenario)."""
+    failures: List[str] = []
+    share = float(sim["root_share_overlay"])
+    if share >= ROOT_SHARE_CEILING:
+        failures.append(
+            f"overlay root-load share {share:.1%} >= "
+            f"{ROOT_SHARE_CEILING:.0%} ceiling"
+        )
+    if share >= float(sim["root_share_no_overlay"]):
+        failures.append(
+            "overlay did not reduce the root-load share "
+            f"({share:.1%} with vs "
+            f"{float(sim['root_share_no_overlay']):.1%} without)"
+        )
+    if float(sim["latency"]["count"]) <= 0:
+        failures.append("instrumented run recorded no latency samples")
+    return failures
+
+
+def _rows_metrics(rows: Rows) -> Dict[str, float]:
+    """Column means of the paper series as flat comparable metrics."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for row in rows:
+        for col, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            sums[col] = sums.get(col, 0.0) + float(value)
+            counts[col] = counts.get(col, 0) + 1
+    return {
+        f"rows.{col}.mean": sums[col] / counts[col] for col in sorted(sums)
+    }
+
+
+def run_scenario(
+    name: str,
+    scale: str = "quick",
+    seed: int = 1,
+    *,
+    profile: bool = True,
+    capacity: int = 200_000,
+) -> BenchArtifact:
+    """Run one registered scenario end to end; returns its artifact."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    scenario = SCENARIOS[name]
+    settings = scale_settings(scale, seed)
+    sweeps = scale_sweeps(scale)
+    profiler = WallClockProfiler() if profile else None
+
+    t0 = time.perf_counter()
+    rows = scenario.driver(settings, sweeps)
+    driver_seconds = time.perf_counter() - t0
+
+    simulated = _instrumented_block(
+        settings, seed, profiler, capacity=capacity
+    )
+    total_seconds = time.perf_counter() - t0
+    if not rows:  # instrumented-only scenarios (overlay)
+        rows = list(simulated["per_server_load"])
+
+    failures = list(scenario.shape(rows)) if scenario.shape else []
+    failures += _simulated_invariants(simulated)
+
+    metrics = _rows_metrics(rows)
+    latency = simulated["latency"]
+    metrics.update({
+        "sim.latency_p50": float(latency["p50"]),
+        "sim.latency_p95": float(latency["p95"]),
+        "sim.latency_p99": float(latency["p99"]),
+        "sim.latency_mean": float(latency["mean"]),
+        "sim.query_bytes_per_query": (
+            simulated["query_bytes_total"] / max(1, simulated["num_queries"])
+        ),
+        "sim.update_bytes_epoch": float(simulated["update_bytes_epoch"]),
+        "sim.root_share_overlay": float(simulated["root_share_overlay"]),
+        "sim.root_share_no_overlay": float(
+            simulated["root_share_no_overlay"]
+        ),
+        "sim.top_server_share": float(simulated["top_server_share"]),
+    })
+
+    wall: Dict[str, object] = {}
+    if profiler is not None:
+        wall = profiler.snapshot()
+        wall["total_seconds"] = total_seconds
+        wall["driver_seconds"] = driver_seconds
+        wall["events_processed"] = profiler.counter("sim.events")
+        wall["events_per_sec"] = profiler.events_per_second()
+        metrics["wall.total_seconds"] = total_seconds
+        metrics["wall.driver_seconds"] = driver_seconds
+        metrics["wall.events_per_sec"] = wall["events_per_sec"]
+        for section, stats in wall["sections"].items():
+            metrics[f"wall.section.{section}.seconds"] = stats["seconds"]
+
+    return BenchArtifact(
+        **stamp(name, scale, seed, settings),
+        settings=asdict(settings),
+        rows=rows,
+        metrics=metrics,
+        simulated=simulated,
+        wall=wall,
+        shape={
+            "validator": getattr(scenario.shape, "__name__", None),
+            "failures": failures,
+        },
+        schema=SCHEMA,
+    )

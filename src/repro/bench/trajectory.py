@@ -1,0 +1,106 @@
+"""Perf trajectory: one summary row per benchmark run.
+
+``BENCH_trajectory.json`` is an append-only time series of benchmark
+runs — each row carries the provenance stamp (time, git rev, config
+fingerprint, scenario/scale/seed) plus the headline simulated and
+wall-clock metrics — so the repo's performance history reads as a table
+instead of an archaeology project through CI logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from .artifact import BenchArtifact
+
+#: trajectory schema identifier
+TRAJECTORY_SCHEMA = "roads.bench-trajectory/1"
+
+#: default trajectory file name
+TRAJECTORY_FILENAME = "BENCH_trajectory.json"
+
+
+def trajectory_row(artifact: BenchArtifact) -> Dict[str, object]:
+    """One summary row: provenance + headline (sim/wall) metrics."""
+    row: Dict[str, object] = {
+        "created_unix": artifact.created_unix,
+        "scenario": artifact.scenario,
+        "scale": artifact.scale,
+        "seed": artifact.seed,
+        "git_rev": artifact.git_rev,
+        "config_fingerprint": artifact.config_fingerprint,
+        "shape_ok": artifact.ok,
+    }
+    for name, value in sorted(artifact.metrics.items()):
+        if name.startswith(("sim.", "wall.")) and not name.startswith(
+            "wall.section."
+        ):
+            row[name] = value
+    return row
+
+
+def load_trajectory(path) -> List[Dict[str, object]]:
+    """Rows of an existing trajectory file (empty list if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(doc, dict)
+        or doc.get("schema") != TRAJECTORY_SCHEMA
+        or not isinstance(doc.get("rows"), list)
+    ):
+        raise ValueError(
+            f"{path} is not a {TRAJECTORY_SCHEMA} trajectory file"
+        )
+    return doc["rows"]
+
+
+def append_trajectory(artifact: BenchArtifact, path) -> Dict[str, object]:
+    """Append *artifact*'s summary row to the trajectory file.
+
+    Creates the file when missing; returns the appended row.
+    """
+    path = Path(path)
+    rows = load_trajectory(path)
+    row = trajectory_row(artifact)
+    rows.append(row)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {"schema": TRAJECTORY_SCHEMA, "rows": rows}, indent=2
+        ) + "\n",
+        encoding="utf-8",
+    )
+    return row
+
+
+def format_trajectory(rows: List[Dict[str, object]]) -> str:
+    """Render trajectory rows as an aligned table (newest last)."""
+    from ..experiments.report import format_table
+
+    if not rows:
+        return "(empty trajectory)"
+    display = []
+    for row in rows:
+        entry = {
+            "rev": row.get("git_rev", "?"),
+            "scenario": row.get("scenario", "?"),
+            "scale": row.get("scale", "?"),
+            "shape": "ok" if row.get("shape_ok") else "FAIL",
+        }
+        for key, label in (
+            ("sim.latency_p50", "p50_s"),
+            ("sim.latency_p95", "p95_s"),
+            ("sim.update_bytes_epoch", "upd_B"),
+            ("sim.root_share_overlay", "root_share"),
+            ("wall.total_seconds", "wall_s"),
+            ("wall.events_per_sec", "ev/s"),
+        ):
+            value = row.get(key)
+            if value is not None:
+                entry[label] = f"{float(value):.4g}"
+        display.append(entry)
+    return format_table(display)

@@ -11,6 +11,11 @@ code:
   load tables (root-load share with and without the replication
   overlay), optionally exporting JSONL events, a Chrome trace and a
   Prometheus metrics snapshot;
+* ``bench`` — the benchmark observatory: ``run`` a scenario into a
+  ``BENCH_<scenario>.json`` artifact, ``compare`` one against a
+  committed baseline (non-zero exit on regression or paper-shape
+  violation), ``trajectory`` to append/inspect the perf time series,
+  ``list`` the registered scenarios;
 * ``demo`` — a narrated quickstart run.
 """
 
@@ -76,29 +81,21 @@ def _telemetry_scenario(
     Returns ``(system, telemetry, root_id)`` with all query traffic
     recorded in the per-server metrics registry and the event bus.
     """
-    import numpy as np
-
-    from .roads import RoadsConfig, RoadsSystem
+    from .experiments.runner import instrumented_query_run
     from .telemetry import Telemetry
-    from .workload import WorkloadConfig, generate_node_stores
-    from .workload.queries import generate_queries
 
-    wcfg = WorkloadConfig(
-        num_nodes=num_nodes, records_per_node=records_per_node, seed=seed
+    settings = ExperimentSettings.smoke().with_(
+        num_nodes=num_nodes,
+        records_per_node=records_per_node,
+        num_queries=max(1, num_queries),
+        seed=seed,
     )
-    stores = generate_node_stores(wcfg)
-    queries = generate_queries(wcfg, num_queries=num_queries)
-    clients = np.random.default_rng(seed).integers(
-        0, num_nodes, size=len(queries)
+    return instrumented_query_run(
+        settings, seed,
+        use_overlay=use_overlay,
+        telemetry=Telemetry(capacity=capacity),
+        num_queries=num_queries,
     )
-    tel = Telemetry(capacity=capacity)
-    cfg = RoadsConfig(
-        num_nodes=num_nodes, records_per_node=records_per_node, seed=seed
-    )
-    system = RoadsSystem.build(cfg, stores, telemetry=tel)
-    for q, c in zip(queries, clients):
-        system.execute_query(q, client_node=int(c), use_overlay=use_overlay)
-    return system, tel, system.hierarchy.root.server_id
 
 
 def _print_load_tables(
@@ -241,6 +238,88 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        append_trajectory,
+        artifact_filename,
+        run_scenario,
+        write_artifact,
+    )
+
+    artifact = run_scenario(
+        args.scenario, scale=args.scale, seed=args.seed,
+        profile=not args.no_profile,
+    )
+    path = write_artifact(
+        artifact, Path(args.out) / artifact_filename(args.scenario)
+    )
+    print_table(artifact.rows, title=f"{args.scenario} ({args.scale} scale)")
+    latency = artifact.simulated["latency"]
+    print(
+        f"\nsimulated: latency p50={latency['p50']:.3f}s "
+        f"p95={latency['p95']:.3f}s p99={latency['p99']:.3f}s; "
+        f"update bytes/epoch={artifact.simulated['update_bytes_epoch']}; "
+        f"root share {artifact.simulated['root_share_overlay']:.1%} with / "
+        f"{artifact.simulated['root_share_no_overlay']:.1%} without overlay"
+    )
+    if artifact.wall:
+        print(
+            f"wall: {artifact.wall['total_seconds']:.2f}s total, "
+            f"{artifact.wall['events_processed']} sim events "
+            f"({artifact.wall['events_per_sec']:.0f}/s); hot sections: "
+            + ", ".join(
+                f"{name}={stats['seconds']:.3f}s"
+                for name, stats in sorted(
+                    artifact.wall["sections"].items(),
+                    key=lambda kv: -kv[1]["seconds"],
+                )[:4]
+            )
+        )
+    for failure in artifact.shape["failures"]:
+        print(f"shape violation: {failure}")
+    print(f"artifact written to {path}")
+    if args.trajectory:
+        append_trajectory(artifact, args.trajectory)
+        print(f"trajectory row appended to {args.trajectory}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .bench import compare_artifacts, format_comparison, load_artifact
+
+    current = load_artifact(args.current)
+    baseline = load_artifact(args.baseline)
+    result = compare_artifacts(
+        current, baseline,
+        tolerance=args.tolerance,
+        wall_tolerance=args.wall_tolerance,
+        include_wall=not args.skip_wall,
+    )
+    print(format_comparison(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_trajectory(args) -> int:
+    from .bench import append_trajectory, format_trajectory, load_artifact, load_trajectory
+
+    for artifact_path in args.artifacts:
+        row = append_trajectory(load_artifact(artifact_path), args.file)
+        print(f"appended {row['scenario']} @ {row['git_rev']} to {args.file}")
+    print(format_trajectory(load_trajectory(args.file)))
+    return 0
+
+
+def _cmd_bench_list(args) -> int:
+    from .bench import SCALES, SCENARIOS
+
+    print(f"scales: {', '.join(SCALES)} (or REPRO_BENCH_SCALE)")
+    for name in sorted(SCENARIOS):
+        print(f"  {name:<8} {SCENARIOS[name].title}")
+    return 0
+
+
 def _cmd_demo(args) -> int:
     import runpy
     from pathlib import Path
@@ -329,6 +408,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of targets (default: all)",
     )
     p.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark observatory: BENCH_*.json artifacts and the "
+             "regression gate",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run a scenario and write BENCH_<scenario>.json"
+    )
+    from .bench import SCALES as _BENCH_SCALES
+    from .bench import available_scenarios as _bench_scenarios
+
+    b.add_argument("scenario", choices=_bench_scenarios())
+    b.add_argument("--scale", choices=_BENCH_SCALES, default="quick")
+    b.add_argument("--seed", type=int, default=1)
+    b.add_argument("--out", default=".",
+                   help="directory for the BENCH_<scenario>.json artifact")
+    b.add_argument("--trajectory", metavar="PATH",
+                   help="also append a summary row to this trajectory file")
+    b.add_argument("--no-profile", action="store_true",
+                   help="skip the wall-clock section profile")
+    b.set_defaults(fn=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="diff an artifact against a baseline; non-zero exit on "
+             "regression or shape violation",
+    )
+    b.add_argument("current", help="freshly produced BENCH_*.json")
+    b.add_argument("--baseline", required=True,
+                   help="committed baseline BENCH_*.json")
+    b.add_argument("--tolerance", type=float, default=0.05,
+                   help="symmetric band for simulated metrics (default 5%%)")
+    b.add_argument("--wall-tolerance", type=float, default=0.30,
+                   help="regression-only band for wall metrics (default 30%%)")
+    b.add_argument("--skip-wall", action="store_true",
+                   help="ignore wall-clock metrics entirely")
+    b.add_argument("--verbose", action="store_true",
+                   help="print every metric delta, not only failures")
+    b.set_defaults(fn=_cmd_bench_compare)
+
+    b = bench_sub.add_parser(
+        "trajectory",
+        help="append artifacts to the perf time series and print it",
+    )
+    b.add_argument("artifacts", nargs="*",
+                   help="BENCH_*.json artifacts to append")
+    b.add_argument("--file", default="BENCH_trajectory.json")
+    b.set_defaults(fn=_cmd_bench_trajectory)
+
+    b = bench_sub.add_parser("list", help="list registered scenarios")
+    b.set_defaults(fn=_cmd_bench_list)
 
     p = sub.add_parser("demo", help="run the narrated quickstart")
     p.add_argument(

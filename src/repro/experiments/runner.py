@@ -125,6 +125,35 @@ def trial_queries(
     return queries, clients
 
 
+def instrumented_query_run(
+    settings: ExperimentSettings,
+    seed: int,
+    *,
+    use_overlay: bool = True,
+    telemetry=None,
+    num_queries: Optional[int] = None,
+):
+    """Build a telemetry-instrumented ROADS system and drive its queries.
+
+    Uses the same seeded workload and client placement as
+    :func:`run_trial`, so the registry's per-server attribution matches
+    the paired measurements. *num_queries* truncates the query stream
+    (``0`` builds the system without issuing any query). Returns
+    ``(system, telemetry, root_server_id)``.
+    """
+    from ..telemetry import Telemetry
+
+    wcfg, stores = build_workload(settings, seed)
+    queries, clients = trial_queries(settings, wcfg, seed)
+    if num_queries is not None:
+        queries, clients = queries[:num_queries], clients[:num_queries]
+    tel = telemetry if telemetry is not None else Telemetry()
+    system = build_roads(settings, stores, seed, telemetry=tel)
+    for q, c in zip(queries, clients):
+        system.execute_query(q, client_node=int(c), use_overlay=use_overlay)
+    return system, tel, system.hierarchy.root.server_id
+
+
 def measure_roads(
     system: RoadsSystem,
     queries: Sequence[Query],

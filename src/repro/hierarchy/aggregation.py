@@ -20,6 +20,7 @@ Two execution modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Optional
 
 from ..sim.engine import PeriodicTask, Simulator
@@ -101,6 +102,8 @@ def aggregate_round(
         if telemetry is not None
         else None
     )
+    prof = telemetry.profiler if telemetry is not None else None
+    wall_t0 = perf_counter() if prof is not None else 0.0
     export_bytes = refresh_owner_exports(hierarchy, config, now) if refresh_exports else 0
     if metrics is not None and export_bytes:
         metrics.record_message(UPDATE, export_bytes, phase="export")
@@ -142,6 +145,8 @@ def aggregate_round(
                 )
 
     visit(hierarchy.root)
+    if prof is not None:
+        prof.add("update.aggregate", perf_counter() - wall_t0)
     if span is not None:
         span.annotate(
             bytes=export_bytes + agg_bytes,

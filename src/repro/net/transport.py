@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, Optional, Set
 
 from ..sim.engine import Simulator
@@ -77,6 +78,10 @@ class Network:
         self.processing_delay = processing_delay
         self.loss_rate = loss_rate
         self.telemetry = telemetry
+        # Wall-clock profiler reference cached at construction (attach a
+        # profiler to the telemetry recorder *before* building); None
+        # keeps the per-message hot path to a single attribute check.
+        self._profiler = telemetry.profiler if telemetry is not None else None
         self._rng = rng
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._failed: Set[int] = set()
@@ -130,6 +135,27 @@ class Network:
         node under *phase*. Delivery invokes *on_delivery* when given,
         else the destination's registered handler.
         """
+        prof = self._profiler
+        if prof is None:
+            return self._send(src, dst, category, size_bytes, payload,
+                              on_delivery, phase)
+        t0 = perf_counter()
+        try:
+            return self._send(src, dst, category, size_bytes, payload,
+                              on_delivery, phase)
+        finally:
+            prof.add("net.send", perf_counter() - t0)
+
+    def _send(
+        self,
+        src: int,
+        dst: int,
+        category: str,
+        size_bytes: int,
+        payload: Any = None,
+        on_delivery: Optional[Callable[[Message], None]] = None,
+        phase: str = "",
+    ) -> Message:
         msg = Message(src=src, dst=dst, category=category,
                       size_bytes=int(size_bytes), payload=payload,
                       msg_id=next(self._msg_counter))
@@ -173,7 +199,15 @@ class Network:
                               phase=phase, bytes=msg.size_bytes)
             handler = on_delivery if on_delivery is not None else self._handlers.get(msg.dst)
             if handler is not None:
-                handler(msg)
+                prof = self._profiler
+                if prof is None:
+                    handler(msg)
+                else:
+                    t0 = perf_counter()
+                    try:
+                        handler(msg)
+                    finally:
+                        prof.add("net.deliver", perf_counter() - t0)
 
         self.sim.schedule(delay, deliver)
         return msg

@@ -16,6 +16,7 @@ reproduces the paper's ``O(k·n·log n)`` replication message term.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Set
 
 from ..sim.metrics import UPDATE, MetricsCollector
@@ -96,6 +97,8 @@ class ReplicationOverlay:
             if telemetry is not None
             else None
         )
+        prof = telemetry.profiler if telemetry is not None else None
+        wall_t0 = perf_counter() if prof is not None else 0.0
         # Compute each server's branch and local summaries once.
         branch: Dict[int, Optional[ResourceSummary]] = {}
         local: Dict[int, Optional[ResourceSummary]] = {}
@@ -161,6 +164,8 @@ class ReplicationOverlay:
                     continue
                 ship(server, "local", anc.server_id, summary,
                      server.replicated_local_summaries)
+        if prof is not None:
+            prof.add("update.replicate", perf_counter() - wall_t0)
         if span is not None:
             span.annotate(
                 bytes=total_bytes, messages=messages,

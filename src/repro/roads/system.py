@@ -17,6 +17,7 @@ execution. This is the library's primary entry point::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -137,6 +138,9 @@ class RoadsSystem:
         )
         if telemetry is not None:
             telemetry.bind_clock(lambda: sim.now)
+            # Wall-clock profiling: the engine holds its own reference so
+            # event dispatch stays a single attribute check when disabled.
+            sim.profiler = telemetry.profiler
         network = Network(
             sim, delay_space, MetricsCollector(), telemetry=telemetry
         )
@@ -309,6 +313,8 @@ class RoadsSystem:
             telemetry=self.telemetry,
         )
         tel = self.telemetry
+        prof = tel.profiler if tel is not None else None
+        wall_t0 = perf_counter() if prof is not None else 0.0
         span = (
             tel.span(
                 "query.execute",
@@ -340,6 +346,8 @@ class RoadsSystem:
                 matches=outcome.total_matches,
             )
             span.close()
+        if prof is not None:
+            prof.add("query.execute", perf_counter() - wall_t0)
         self.metrics.registry.observe(
             "query.latency", outcome.latency, server=start_server
         )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 
@@ -43,6 +44,10 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        #: optional wall-clock profiler; when set, dispatch time is
+        #: accumulated under ``sim.dispatch`` and processed events under
+        #: the ``sim.events`` counter (None keeps the hot path free).
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -93,6 +98,8 @@ class Simulator:
         Returns the number of events processed by this call. The clock is
         advanced to *until* when given, even if the queue drains earlier.
         """
+        prof = self.profiler
+        t0 = perf_counter() if prof is not None else 0.0
         processed = 0
         while self._queue:
             ev = self._queue[0]
@@ -110,10 +117,15 @@ class Simulator:
             self._processed += 1
         if until is not None and self._now < until:
             self._now = until
+        if prof is not None:
+            prof.add("sim.dispatch", perf_counter() - t0)
+            prof.count("sim.events", processed)
         return processed
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
+        prof = self.profiler
+        t0 = perf_counter() if prof is not None else 0.0
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
@@ -121,7 +133,12 @@ class Simulator:
             self._now = ev.time
             ev.fn()
             self._processed += 1
+            if prof is not None:
+                prof.add("sim.dispatch", perf_counter() - t0)
+                prof.count("sim.events")
             return True
+        if prof is not None:
+            prof.add("sim.dispatch", perf_counter() - t0)
         return False
 
 

@@ -124,12 +124,22 @@ class Telemetry:
         self.bus = EventBus(capacity)
         self.metrics = MetricsRegistry()
         self.enabled = enabled
+        #: optional wall-clock section profiler
+        #: (:class:`repro.bench.profiler.WallClockProfiler`); attach it
+        #: *before* building a system — instrumented components cache the
+        #: reference at construction time so the disabled path stays free.
+        self.profiler = None
         self._span_ids = itertools.count(1)
         self._stack: List[Span] = []
 
     # -- clock ----------------------------------------------------------------
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self._clock = clock
+
+    # -- wall-clock profiling ------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Install a wall-clock section profiler (call before ``build``)."""
+        self.profiler = profiler
 
     @property
     def now(self) -> float:

@@ -9,7 +9,8 @@
   spans become complete (``"ph": "X"``) events and point events become
   instants (``"ph": "i"``), timestamps in microseconds, grouped by the
   ``server`` tag as the pid so Perfetto / ``chrome://tracing`` renders
-  one track per server.
+  one track per server; overlapping spans within a server are fanned out
+  to distinct ``tid`` lanes so none of them hide each other.
 """
 
 from __future__ import annotations
@@ -48,9 +49,19 @@ def read_jsonl(path) -> List[TelemetryEvent]:
 
 
 # -- Prometheus text format ----------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    # Text exposition format: backslash, double-quote and newline must be
+    # escaped inside label values.
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: Dict[str, str]) -> str:
+    # Empty values are kept: `server=""` (registry-level totals) must stay
+    # distinguishable from a series that has no server label at all.
     inner = ",".join(
-        f'{k}="{v}"' for k, v in labels.items() if v != ""
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()
     )
     return "{" + inner + "}" if inner else ""
 
@@ -113,6 +124,34 @@ def _trace_pid(event: TelemetryEvent) -> int:
         return 0
 
 
+def _assign_lanes(
+    spans: List[Dict[str, object]],
+) -> None:
+    """Give overlapping spans within one pid distinct ``tid`` lanes.
+
+    Greedy interval colouring: spans sorted by start time (longest first
+    on ties) take the lowest-numbered lane that is already free at their
+    start. Non-overlapping spans share lane 0; concurrent spans fan out
+    to higher lanes instead of overwriting each other.
+    """
+    order = sorted(
+        range(len(spans)),
+        key=lambda i: (spans[i]["ts"], -spans[i]["dur"]),
+    )
+    lane_free_at: List[float] = []
+    for i in order:
+        start = float(spans[i]["ts"])
+        end = start + float(spans[i]["dur"])
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= start:
+                break
+        else:
+            lane = len(lane_free_at)
+            lane_free_at.append(0.0)
+        lane_free_at[lane] = end
+        spans[i]["tid"] = lane
+
+
 def chrome_trace(
     events: Sequence[TelemetryEvent],
     *,
@@ -120,6 +159,7 @@ def chrome_trace(
 ) -> Dict[str, object]:
     """Convert bus events into a ``chrome://tracing``-loadable object."""
     trace_events: List[Dict[str, object]] = []
+    spans_by_pid: Dict[int, List[Dict[str, object]]] = {}
     pids = set()
     for e in events:
         pid = _trace_pid(e)
@@ -127,16 +167,18 @@ def chrome_trace(
         ts_us = e.ts * 1e6
         args = {k: v for k, v in e.tags.items()}
         if e.kind == "span":
-            trace_events.append({
+            entry = {
                 "name": e.name,
                 "cat": e.name.split(".")[0],
                 "ph": "X",
                 "ts": ts_us,
                 "dur": e.dur * 1e6,
                 "pid": pid,
-                "tid": e.parent_id % 32,
+                "tid": 0,
                 "args": args,
-            })
+            }
+            trace_events.append(entry)
+            spans_by_pid.setdefault(pid, []).append(entry)
         else:
             trace_events.append({
                 "name": e.name,
@@ -148,6 +190,8 @@ def chrome_trace(
                 "tid": 0,
                 "args": args,
             })
+    for spans in spans_by_pid.values():
+        _assign_lanes(spans)
     for pid in sorted(pids):
         trace_events.append({
             "name": "process_name",

@@ -119,3 +119,92 @@ class TestSuite:
         ])
         assert rc == 0
         assert (tmp_path / "r" / "SUMMARY.md").exists()
+
+
+class TestBenchCLI:
+    """`repro bench run/compare/trajectory` end-to-end in a tmp dir."""
+
+    @pytest.fixture(scope="class")
+    def bench_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench")
+        rc = main([
+            "bench", "run", "overlay", "--scale", "smoke",
+            "--seed", "7", "--out", str(out),
+            "--trajectory", str(out / "BENCH_trajectory.json"),
+        ])
+        assert rc == 0
+        return out
+
+    def test_run_writes_schema_valid_artifact(self, bench_dir):
+        from repro.bench import load_artifact, validate_artifact
+
+        path = bench_dir / "BENCH_overlay.json"
+        assert path.exists()
+        doc = json.loads(path.read_text())
+        assert validate_artifact(doc) == []
+        art = load_artifact(path)
+        assert art.scenario == "overlay" and art.scale == "smoke"
+        assert art.metrics["sim.latency_p95"] > 0
+        assert art.wall["sections"]  # profiling was on
+        assert art.ok
+
+    def test_run_appends_trajectory(self, bench_dir):
+        from repro.bench import load_trajectory
+
+        rows = load_trajectory(bench_dir / "BENCH_trajectory.json")
+        assert len(rows) == 1
+        assert rows[0]["scenario"] == "overlay"
+        assert rows[0]["shape_ok"] is True
+
+    def test_compare_clean_rerun_exits_zero(self, bench_dir, capsys):
+        rc = main([
+            "bench", "compare", str(bench_dir / "BENCH_overlay.json"),
+            "--baseline", str(bench_dir / "BENCH_overlay.json"),
+        ])
+        assert rc == 0
+        assert "[ok] overlay" in capsys.readouterr().out
+
+    def test_compare_flags_injected_latency_regression(
+        self, bench_dir, tmp_path, capsys
+    ):
+        doc = json.loads((bench_dir / "BENCH_overlay.json").read_text())
+        for key in ("sim.latency_p50", "sim.latency_p95"):
+            doc["metrics"][key] *= 2.0
+        bad = tmp_path / "BENCH_overlay.json"
+        bad.write_text(json.dumps(doc))
+        rc = main([
+            "bench", "compare", str(bad),
+            "--baseline", str(bench_dir / "BENCH_overlay.json"),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "sim.latency_p95" in out and "FAIL" in out
+
+    def test_compare_rejects_fingerprint_mismatch(
+        self, bench_dir, tmp_path, capsys
+    ):
+        doc = json.loads((bench_dir / "BENCH_overlay.json").read_text())
+        doc["config_fingerprint"] = "0" * 16
+        other = tmp_path / "BENCH_overlay.json"
+        other.write_text(json.dumps(doc))
+        rc = main([
+            "bench", "compare", str(other),
+            "--baseline", str(bench_dir / "BENCH_overlay.json"),
+        ])
+        assert rc == 1
+        assert "fingerprint mismatch" in capsys.readouterr().out
+
+    def test_trajectory_subcommand_prints_table(self, bench_dir, capsys):
+        rc = main([
+            "bench", "trajectory",
+            "--file", str(bench_dir / "BENCH_trajectory.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlay" in out and "p95_s" in out
+
+    def test_bench_list(self, capsys):
+        rc = main(["bench", "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "overlay" in out

@@ -158,6 +158,31 @@ class TestStreamingHistogram:
         with pytest.raises(ValueError):
             StreamingHistogram().record(-1.0)
 
+    def test_percentile_extremes_clamp_to_min_max(self):
+        h = StreamingHistogram()
+        h.record_many([0.1, 0.5, 2.5])
+        assert h.percentile(0) == pytest.approx(h.min)
+        assert h.percentile(100) == pytest.approx(h.max)
+
+    def test_empty_merge_keeps_sentinels(self):
+        a, b = StreamingHistogram(), StreamingHistogram()
+        a.merge(b)
+        assert a.count == 0
+        assert a.min == float("inf") and a.max == float("-inf")
+        assert a.percentile(50) == 0.0
+        assert a.summary()["count"] == 0
+
+    def test_merge_into_empty_adopts_min_max(self):
+        src = StreamingHistogram()
+        src.record(0.7)
+        dst = StreamingHistogram()
+        dst.merge(src)
+        assert dst.count == 1
+        assert dst.min == pytest.approx(0.7)
+        assert dst.max == pytest.approx(0.7)
+        assert dst.percentile(0) == pytest.approx(0.7)
+        assert dst.percentile(100) == pytest.approx(0.7)
+
 
 class TestMetricsRegistry:
     def test_per_server_attribution(self):

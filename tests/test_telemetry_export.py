@@ -74,6 +74,36 @@ class TestChromeTrace:
         doc = json.loads(path.read_text())
         assert len(doc["traceEvents"]) == n
 
+    def test_overlapping_root_spans_get_distinct_lanes(self):
+        tel = Telemetry()
+        # Two root spans (parent_id == 0) on the same server overlap in
+        # time; they must land on different tid lanes or one hides the
+        # other in the trace viewer.
+        tel.emit_span("query.execute", 0.0, 1.0, server=2)
+        tel.emit_span("update.aggregate", 0.2, 0.6, server=2)
+        doc = chrome_trace(tel.events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+        assert spans[0]["tid"] != spans[1]["tid"]
+
+    def test_sequential_spans_share_lane_zero(self):
+        tel = Telemetry()
+        tel.emit_span("query.execute", 0.0, 0.5, server=2)
+        tel.emit_span("query.execute", 1.0, 1.5, server=2)
+        doc = chrome_trace(tel.events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["tid"] for e in spans] == [0, 0]
+
+    def test_lanes_are_per_pid(self):
+        tel = Telemetry()
+        # Concurrent spans on *different* servers do not need extra
+        # lanes: each pid has its own allocator.
+        tel.emit_span("query.execute", 0.0, 1.0, server=1)
+        tel.emit_span("query.execute", 0.0, 1.0, server=2)
+        doc = chrome_trace(tel.events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert all(e["tid"] == 0 for e in spans)
+
 
 class TestPrometheus:
     def test_counter_lines(self):
@@ -101,6 +131,27 @@ class TestPrometheus:
             name_labels, value = line.rsplit(" ", 1)
             float(value)
             assert name_labels.startswith("roads_")
+
+    def test_empty_label_values_are_kept(self):
+        # A series with server=None must render as server="" rather than
+        # dropping the label: a registry-level total is a different
+        # series from one that never had a server label.
+        r = MetricsRegistry()
+        r.count_message("update", 10)
+        text = prometheus_text(r)
+        assert 'roads_messages_total{category="update",server="",phase=""} 1' in text
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.count_message("query", 5, server=1, phase='for"ward\\x\ny')
+        text = prometheus_text(r)
+        assert 'phase="for\\"ward\\\\x\\ny"' in text
+        # Escaping keeps the exposition line single-line and parseable.
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_labels, value = line.rsplit(" ", 1)
+            float(value)
 
 
 class TestCli:
