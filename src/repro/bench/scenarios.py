@@ -50,6 +50,11 @@ from ..experiments.figures import (
     fig11_response_time_vs_selectivity,
 )
 from ..experiments.runner import instrumented_query_run
+from ..experiments.staleness import (
+    LOSS_SWEEP,
+    update_plane_staleness_rows,
+    validate_update_plane,
+)
 from ..experiments.table1 import analytical_rows, measured_rows
 from ..experiments.validation import (
     validate_fig3,
@@ -232,6 +237,15 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario(
             "overlay", "Per-server load attribution (overlay on/off)",
             lambda s, sw: [],  # rows come from the instrumented run
+        ),
+        Scenario(
+            "update_plane",
+            "Update-plane propagation lag and staleness under loss",
+            lambda s, sw: update_plane_staleness_rows(
+                s, LOSS_SWEEP,
+                epochs=4 if sw["queries_per_group"] <= 8 else 8,
+            ),
+            validate_update_plane,
         ),
     )
 }

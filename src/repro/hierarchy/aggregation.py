@@ -164,6 +164,134 @@ def aggregate_round(
     )
 
 
+@dataclass
+class SummaryUpdate:
+    """Wire payload of one update-plane message.
+
+    ``summary is None`` marks a keep-alive: the receiver re-stamps its
+    held soft state only when *fingerprint* matches the held content
+    (:meth:`~repro.hierarchy.node.Server.refresh_summary`). ``table``
+    selects the receiver-side soft-state table: ``"child"`` for
+    bottom-up reports, ``"replica"`` / ``"replica_local"`` for overlay
+    pushes, ``"owner"`` for a guest owner's summary export.
+
+    One payload object is shared across every holder of the same source
+    summary in an epoch — installation never mutates it in place.
+    """
+
+    table: str
+    src: int
+    summary: Optional[ResourceSummary] = None
+    fingerprint: Optional[bytes] = None
+    owner_id: Optional[str] = None
+
+    def install(self, server: Server, now: float) -> str:
+        """Apply this update at the receiving *server*; returns outcome.
+
+        The outcome is ``"installed"``, ``"refreshed"`` or ``"ignored"``
+        (keep-alive against absent or content-mismatched state — the
+        receiver's copy is left to age out, Section III-B soft state).
+        """
+        if self.table == "owner":
+            for owner in server.owners:
+                if owner.owner_id == self.owner_id:
+                    owner.summary = self.summary
+                    return "installed"
+            return "ignored"
+        if self.summary is not None:
+            ok = server.install_summary(self.table, self.src, self.summary)
+            return "installed" if ok else "ignored"
+        if self.fingerprint is None:
+            return "ignored"  # bare stats report from an empty branch
+        ok = server.refresh_summary(self.table, self.src, self.fingerprint, now)
+        return "refreshed" if ok else "ignored"
+
+
+class SummaryExporter:
+    """Per-server actor: exports the branch summary to the parent.
+
+    Replaces the receiver-peeking delta rule of :func:`aggregate_round`
+    with sender-side state only: the exporter remembers the fingerprint
+    it last shipped (shared with :func:`aggregate_round` through
+    ``server.last_reported_fingerprint``), the parent it shipped to, and
+    when it last sent a full summary. A full send is forced when the
+    parent changed (rejoin — the new parent has no state for us) or when
+    ``refresh_after`` elapsed since the last full (soft-state
+    anti-entropy: bounds staleness when a full send was lost and the
+    receiver is silently discarding our keep-alives).
+    """
+
+    __slots__ = ("server", "config", "delta", "refresh_after",
+                 "_last_parent", "_last_full_at")
+
+    def __init__(
+        self,
+        server: Server,
+        config: SummaryConfig,
+        *,
+        delta: bool = False,
+        refresh_after: Optional[float] = None,
+    ):
+        self.server = server
+        self.config = config
+        self.delta = delta
+        self.refresh_after = (
+            refresh_after if refresh_after is not None else config.ttl
+        )
+        self._last_parent: Optional[int] = None
+        self._last_full_at = float("-inf")
+
+    def forget_parent(self) -> None:
+        """Force a full send on the next export (parent changed)."""
+        self._last_parent = None
+
+    def build_update(
+        self, now: float, *, force_full: bool = False
+    ) -> Optional[tuple]:
+        """One epoch's report to the parent: ``(update, size_bytes)``.
+
+        Returns None when there is no parent to report to (root) or the
+        server is dead. Mutates the exporter's delta state — the report
+        counts as sent whether or not it survives the network.
+        """
+        server = self.server
+        parent = server.parent
+        if parent is None or not server.alive:
+            return None
+        summary = server.branch_summary(self.config, now)
+        size = HEADER_BYTES + BRANCH_STATS_BYTES
+        if summary is None:
+            return SummaryUpdate("child", server.server_id), size
+        summary = summary.refreshed(now)
+        fp = summary.fingerprint()
+        keepalive = (
+            self.delta
+            and not force_full
+            and parent.server_id == self._last_parent
+            and fp == server.last_reported_fingerprint
+            and (now - self._last_full_at) < self.refresh_after
+        )
+        server.last_reported_fingerprint = fp
+        self._last_parent = parent.server_id
+        if keepalive:
+            return SummaryUpdate("child", server.server_id, None, fp), size
+        self._last_full_at = now
+        size += summary.encoded_size()
+        return SummaryUpdate("child", server.server_id, summary, fp), size
+
+
+def build_owner_export(
+    owner, config: SummaryConfig, now: float
+) -> tuple:
+    """A guest owner's fresh summary export: ``(update, size_bytes)``."""
+    summary = ResourceSummary.from_store(owner.origin, config, created_at=now)
+    size = summary.encoded_size() + HEADER_BYTES
+    update = SummaryUpdate(
+        "owner", owner.node_id, summary, owner_id=owner.owner_id
+    )
+    return update, size
+
+
 class PeriodicAggregation:
     """Event-driven aggregation: one round every ``interval`` (= t_s)."""
 

@@ -38,11 +38,22 @@ _HEARTBEAT_HEADER = 16
 _ID_BYTES = 4
 
 
+#: extra heartbeat bytes when a summary fingerprint is piggybacked
+_FINGERPRINT_BYTES = 16
+
+
 @dataclass(frozen=True)
 class MaintenanceConfig:
     heartbeat_interval: float = 5.0
     miss_threshold: int = 3
     check_interval: float = 5.0
+    #: piggyback the child's branch-summary fingerprint on parent-bound
+    #: heartbeats, letting the parent refresh that summary's TTL between
+    #: update epochs (heartbeats usually run faster than t_s). Off by
+    #: default: it grows every upward heartbeat by 16 bytes, which would
+    #: shift maintenance-overhead accounting for callers that never
+    #: asked for it.
+    piggyback_summaries: bool = False
 
     @property
     def failure_timeout(self) -> float:
@@ -54,6 +65,9 @@ class _Heartbeat:
     sender: int
     root_path: List[int]
     root_children: Optional[List[int]] = None  # only on root -> child beats
+    #: child -> parent only: fingerprint of the sender's last-reported
+    #: branch summary, refreshing the parent's held copy on match
+    summary_fp: Optional[bytes] = None
 
 
 class MaintenanceProtocol:
@@ -67,12 +81,17 @@ class MaintenanceProtocol:
         config: MaintenanceConfig = MaintenanceConfig(),
         *,
         telemetry: Optional[Telemetry] = None,
+        update_plane=None,
     ):
         self.sim = sim
         self.network = network
         self.hierarchy = hierarchy
         self.config = config
         self.telemetry = telemetry
+        #: optional :class:`~repro.roads.update_plane.UpdatePlane`:
+        #: rejoins trigger an immediate full re-export, and (when
+        #: ``piggyback_summaries`` is on) heartbeats refresh summary TTLs
+        self.update_plane = update_plane
         # per-server: neighbour id -> last time we heard from it
         self._last_rx: Dict[int, Dict[int, float]] = {}
         # per-server: last known root path / root children (from heartbeats)
@@ -115,9 +134,14 @@ class MaintenanceProtocol:
         size = _HEARTBEAT_HEADER + len(hb.root_path) * _ID_BYTES
         if hb.root_children is not None:
             size += len(hb.root_children) * _ID_BYTES
+        if hb.summary_fp is not None:
+            size += _FINGERPRINT_BYTES
         return size
 
     def _send_heartbeats(self) -> None:
+        piggyback = (
+            self.config.piggyback_summaries and self.update_plane is not None
+        )
         for server in list(self.hierarchy):
             if not server.alive:
                 continue
@@ -132,6 +156,11 @@ class MaintenanceProtocol:
                     root_path=list(server.root_path),
                     root_children=(
                         server.child_ids() if server.is_root and peer in server.children
+                        else None
+                    ),
+                    summary_fp=(
+                        self.update_plane.heartbeat_fingerprint(server)
+                        if piggyback and peer is server.parent
                         else None
                     ),
                 )
@@ -152,6 +181,12 @@ class MaintenanceProtocol:
         server = self._get(server_id)
         if server is None:
             return
+        # Heartbeats from a child may carry its branch-summary
+        # fingerprint: refresh the held summary's TTL on content match.
+        if hb.summary_fp is not None and self.update_plane is not None:
+            self.update_plane.on_heartbeat_fingerprint(
+                server, hb.sender, hb.summary_fp
+            )
         # Heartbeats from the parent carry the authoritative root path.
         if server.parent is not None and hb.sender == server.parent.server_id:
             self._known_root_path[server_id] = hb.root_path + [server_id]
@@ -255,6 +290,10 @@ class MaintenanceProtocol:
         self._last_rx.setdefault(parent.server_id, {})[server.server_id] = now
         self.rejoins += 1
         self.orphaned.discard(server.server_id)
+        if self.update_plane is not None:
+            # The new parent holds no state for this branch: re-export
+            # the full branch summary now instead of waiting out t_s.
+            self.update_plane.on_rejoin(server)
         self._event(
             "maintenance.rejoin",
             server=server.server_id, parent=parent.server_id,

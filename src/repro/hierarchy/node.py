@@ -247,6 +247,65 @@ class Server:
             out = out.merge(p)
         return out
 
+    def _summary_table(self, table: str) -> Dict[int, ResourceSummary]:
+        if table == "child":
+            return self.child_summaries
+        if table == "replica":
+            return self.replicated_summaries
+        if table == "replica_local":
+            return self.replicated_local_summaries
+        raise KeyError(f"unknown summary table {table!r}")
+
+    def install_summary(
+        self, table: str, src_id: int, summary: ResourceSummary
+    ) -> bool:
+        """Delivery-time install of a full summary update.
+
+        Child reports are only installed while *src_id* is an actual
+        child (a report racing a failure-triggered detach must not
+        resurrect the dropped branch state). Replica tables install
+        unconditionally — the holder cannot validate overlay membership.
+        Returns whether the summary was installed.
+        """
+        if table == "child" and src_id not in (
+            c.server_id for c in self.children
+        ):
+            return False
+        self._summary_table(table)[src_id] = summary
+        return True
+
+    def refresh_summary(
+        self, table: str, src_id: int, fingerprint: bytes, now: float
+    ) -> bool:
+        """Delivery-time keep-alive: re-stamp matching soft state.
+
+        The keep-alive carries only the sender's current content
+        fingerprint. It refreshes the held summary's TTL **only when the
+        content matches** — if a full update was lost, the held content
+        is genuinely stale and must be allowed to age out rather than be
+        kept alive under a fingerprint it no longer has. Returns whether
+        the refresh was accepted.
+        """
+        held = self._summary_table(table).get(src_id)
+        if held is None or held.fingerprint() != fingerprint:
+            return False
+        # refreshed() copies: full sends can share one payload object
+        # across many holders, so re-stamping must not mutate in place.
+        self._summary_table(table)[src_id] = held.refreshed(now)
+        return True
+
+    def summary_ages(self, now: float) -> List[float]:
+        """Age in seconds of every piece of held soft state."""
+        return [
+            now - s.created_at
+            for table in (
+                self.child_summaries,
+                self.replicated_summaries,
+                self.replicated_local_summaries,
+            )
+            for s in table.values()
+        ]
+
     def expire_stale_summaries(self, now: float) -> int:
         """Drop expired soft-state summaries; returns how many were dropped."""
         dropped = 0

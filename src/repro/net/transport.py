@@ -27,6 +27,16 @@ from ..sim.metrics import MetricsCollector
 from ..telemetry.core import Telemetry
 
 
+#: update-plane message kinds (Sections III-B/III-D): a *full* message
+#: carries an encoded summary; a *keep-alive* carries only a fingerprint
+#: header that refreshes the receiver's matching soft state. They are
+#: distinct on the wire so the delta-propagation saving is observable.
+SUMMARY_FULL = "summary-full"
+SUMMARY_KEEPALIVE = "summary-keepalive"
+
+UPDATE_KINDS = (SUMMARY_FULL, SUMMARY_KEEPALIVE)
+
+
 @dataclass(frozen=True)
 class Message:
     """An in-flight message between two node indices."""
@@ -37,6 +47,8 @@ class Message:
     size_bytes: int
     payload: Any = None
     msg_id: int = 0
+    #: protocol message kind; dispatches to a kind handler when set
+    kind: str = ""
 
 
 class Network:
@@ -84,6 +96,12 @@ class Network:
         self._profiler = telemetry.profiler if telemetry is not None else None
         self._rng = rng
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        # Per-kind handlers: one protocol object owns a message kind for
+        # every node (e.g. the update plane installs summaries at
+        # delivery time). Resolution order at delivery: an explicit
+        # ``on_delivery`` callback, then the kind handler, then the
+        # destination node's registered handler.
+        self._kind_handlers: Dict[str, Callable[[Message], None]] = {}
         self._failed: Set[int] = set()
         self.dropped = 0
         self.lost = 0
@@ -99,6 +117,17 @@ class Network:
 
     def unregister(self, node: int) -> None:
         self._handlers.pop(node, None)
+
+    def register_kind(
+        self, kind: str, handler: Callable[[Message], None]
+    ) -> None:
+        """Install the handler for all messages of protocol *kind*."""
+        if not kind:
+            raise ValueError("kind must be a non-empty string")
+        self._kind_handlers[kind] = handler
+
+    def unregister_kind(self, kind: str) -> None:
+        self._kind_handlers.pop(kind, None)
 
     def fail_node(self, node: int) -> None:
         """Mark *node* failed: all inbound messages are dropped."""
@@ -127,22 +156,29 @@ class Network:
         payload: Any = None,
         on_delivery: Optional[Callable[[Message], None]] = None,
         phase: str = "",
+        kind: str = "",
+        on_dropped: Optional[Callable[[Message, str], None]] = None,
     ) -> Message:
         """Send a message; returns the :class:`Message` descriptor.
 
         Traffic is accounted at send time (the bytes hit the wire whether
         or not the destination is alive) and attributed to the receiving
         node under *phase*. Delivery invokes *on_delivery* when given,
-        else the destination's registered handler.
+        else the handler registered for the message *kind*, else the
+        destination's registered handler. *on_dropped* is the terminal
+        failure hook: it fires exactly once, with a reason of
+        ``"sender_failed"``, ``"lost"`` or ``"receiver_failed"``, when
+        the message will never reach a handler — protocol actors use it
+        to keep in-flight accounting exact under loss.
         """
         prof = self._profiler
         if prof is None:
             return self._send(src, dst, category, size_bytes, payload,
-                              on_delivery, phase)
+                              on_delivery, phase, kind, on_dropped)
         t0 = perf_counter()
         try:
             return self._send(src, dst, category, size_bytes, payload,
-                              on_delivery, phase)
+                              on_delivery, phase, kind, on_dropped)
         finally:
             prof.add("net.send", perf_counter() - t0)
 
@@ -155,10 +191,12 @@ class Network:
         payload: Any = None,
         on_delivery: Optional[Callable[[Message], None]] = None,
         phase: str = "",
+        kind: str = "",
+        on_dropped: Optional[Callable[[Message, str], None]] = None,
     ) -> Message:
         msg = Message(src=src, dst=dst, category=category,
                       size_bytes=int(size_bytes), payload=payload,
-                      msg_id=next(self._msg_counter))
+                      msg_id=next(self._msg_counter), kind=kind)
         self.metrics.record_message(
             category, msg.size_bytes, server=dst, phase=phase
         )
@@ -172,12 +210,16 @@ class Network:
             if tel is not None:
                 tel.event("net.drop", src=src, dst=dst, category=category,
                           phase=phase, reason="sender_failed")
+            if on_dropped is not None:
+                on_dropped(msg, "sender_failed")
             return msg
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.lost += 1
             if tel is not None:
                 tel.event("net.loss", src=src, dst=dst, category=category,
                           phase=phase, bytes=msg.size_bytes)
+            if on_dropped is not None:
+                on_dropped(msg, "lost")
             return msg  # bytes were sent; the message never arrives
         if tel is not None:
             tel.event("net.send", src=src, dst=dst, category=category,
@@ -192,12 +234,18 @@ class Network:
                     tel.event("net.drop", src=src, dst=dst,
                               category=category, phase=phase,
                               reason="receiver_failed")
+                if on_dropped is not None:
+                    on_dropped(msg, "receiver_failed")
                 return
             if tel is not None:
                 tel.emit_span("net.transit", sent_at, self.sim.now,
                               src=src, server=dst, category=category,
                               phase=phase, bytes=msg.size_bytes)
-            handler = on_delivery if on_delivery is not None else self._handlers.get(msg.dst)
+            handler = on_delivery
+            if handler is None and kind:
+                handler = self._kind_handlers.get(kind)
+            if handler is None:
+                handler = self._handlers.get(msg.dst)
             if handler is not None:
                 prof = self._profiler
                 if prof is None:

@@ -44,6 +44,22 @@ def replication_sources(server: Server) -> List[Server]:
     return out
 
 
+def replication_audience(server: Server) -> List[Server]:
+    """The servers that replicate *server*'s branch summary (push set).
+
+    Exact inverse of :func:`replication_sources`: ``server`` is a source
+    for its own siblings, for every server in its subtree (it is their
+    ancestor), and for every server in a sibling's subtree (it is one of
+    their ancestors' siblings). Equivalently: everything under
+    ``server``'s parent except ``server`` itself, plus ``server``'s own
+    descendants.
+    """
+    out: List[Server] = [s for s in server.iter_subtree() if s is not server]
+    for sib in server.siblings():
+        out.extend(sib.iter_subtree())
+    return out
+
+
 def coverage_ids(server: Server) -> Set[int]:
     """All server ids covered by *server*'s local + replicated summaries.
 
@@ -194,3 +210,99 @@ class ReplicationOverlay:
         return {
             s.server_id: len(replication_sources(s)) for s in self.hierarchy
         }
+
+
+class ReplicaPusher:
+    """Per-server actor: pushes this server's summaries to its holders.
+
+    The event-driven counterpart of :meth:`ReplicationOverlay.
+    replicate_round`, inverted: instead of every holder pulling from all
+    its sources in one synchronous pass, each *source* pushes its branch
+    summary to :func:`replication_audience` and its local-owner summary
+    to its descendants, through real network messages installed at
+    delivery time. Delta state lives in the overlay's shared
+    ``(holder, source, table) -> fingerprint`` map so synchronous rounds
+    and pushed epochs stay coherent; ``refresh_after`` forces a periodic
+    full re-send per holder (soft-state anti-entropy under loss).
+    """
+
+    __slots__ = ("server", "overlay", "delta", "refresh_after",
+                 "_last_full_at")
+
+    def __init__(
+        self,
+        server: Server,
+        overlay: ReplicationOverlay,
+        *,
+        delta: bool = False,
+        refresh_after: Optional[float] = None,
+    ):
+        self.server = server
+        self.overlay = overlay
+        self.delta = delta
+        self.refresh_after = (
+            refresh_after
+            if refresh_after is not None
+            else overlay.config.ttl
+        )
+        # (holder_id, table) -> time of the last full send to that holder
+        self._last_full_at: Dict[tuple, float] = {}
+
+    def build_updates(self, now: float, *, force_full: bool = False) -> List[tuple]:
+        """One epoch's pushes from this source: ``[(holder_id, update, size)]``.
+
+        Payload objects are shared across holders receiving the same
+        content (installation never mutates them), so an epoch allocates
+        O(1) payloads per source, not per message. Mutates the shared
+        delta fingerprint map — a push counts as sent even if lost.
+        """
+        from ..hierarchy.aggregation import SummaryUpdate
+
+        server = self.server
+        if not server.alive:
+            return []
+        config = self.overlay.config
+        out: List[tuple] = []
+        last_fp = self.overlay._last_fp
+        sid = server.server_id
+
+        def push_table(table: str, dest_table: str, summary, holders) -> None:
+            if summary is None:
+                return
+            fp = summary.fingerprint()
+            full_size = _HEADER_BYTES + summary.encoded_size()
+            full = SummaryUpdate(dest_table, sid, summary, fp)
+            keepalive = SummaryUpdate(dest_table, sid, None, fp)
+            for holder in holders:
+                if not holder.alive:
+                    continue
+                key = (holder.server_id, sid, table)
+                full_key = (holder.server_id, table)
+                stale_full = (
+                    now - self._last_full_at.get(full_key, float("-inf"))
+                ) >= self.refresh_after
+                send_keepalive = (
+                    self.delta
+                    and not force_full
+                    and not stale_full
+                    and last_fp.get(key) == fp
+                )
+                last_fp[key] = fp
+                if send_keepalive:
+                    out.append((holder.server_id, keepalive, _HEADER_BYTES))
+                else:
+                    self._last_full_at[full_key] = now
+                    out.append((holder.server_id, full, full_size))
+
+        branch = server.branch_summary(config, now)
+        push_table(
+            "branch", "replica",
+            branch.refreshed(now) if branch is not None else None,
+            replication_audience(server),
+        )
+        push_table(
+            "local", "replica_local",
+            server.local_summary(config, now),
+            [s for s in server.iter_subtree() if s is not server],
+        )
+        return out

@@ -169,14 +169,30 @@ class QueryExecution:
             )
 
     # -- driving ----------------------------------------------------------------
-    def start(self) -> "QueryExecution":
+    #: entry modes for the first contacted server: ``"start"`` fans out
+    #: over everything the server's summaries cover (hierarchy + overlay
+    #: replicas); ``"descent"`` stays within its branch (scoped search /
+    #: no-overlay root entry); ``"local"`` asks only its attached owners.
+    ENTRY_MODES = ("start", "descent", "local")
+
+    def start(self, *, mode: str = "start") -> "QueryExecution":
+        """Issue the first contact; the simulator drives the rest."""
+        if mode not in self.ENTRY_MODES:
+            raise ValueError(
+                f"mode must be one of {self.ENTRY_MODES}, got {mode!r}"
+            )
         self.outcome.started_at = self.sim.now
-        self._contact(self.outcome.start_server, mode="start")
+        self._contact(self.outcome.start_server, mode=mode)
         return self
 
-    def run(self) -> QueryOutcome:
+    @property
+    def done(self) -> bool:
+        """Whether the query has fully resolved (fan-out and timeouts)."""
+        return self._done
+
+    def run(self, *, mode: str = "start") -> QueryOutcome:
         """Start and run the simulator until this query completes."""
-        self.start()
+        self.start(mode=mode)
         # Events from other activity may interleave; loop until done.
         while not self._done and self.sim.step():
             pass

@@ -35,6 +35,9 @@ class RoadsConfig:
     delay_scale_ms: float = 100.0
     delay_base_ms: float = 10.0
     delay_jitter_ms: float = 5.0
+    #: probability that any individual message is silently lost in
+    #: transit (update-plane robustness experiments; 0 disables)
+    loss_rate: float = 0.0
     seed: int = 1
 
     def __post_init__(self) -> None:
@@ -46,3 +49,7 @@ class RoadsConfig:
             raise ValueError("max_children must be >= 1")
         if self.summary_interval <= 0 or self.record_interval <= 0:
             raise ValueError("update intervals must be positive")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )

@@ -29,15 +29,15 @@ from ..records.store import RecordStore
 from ..sim.engine import Simulator
 from ..sim.metrics import QUERY, UPDATE, MetricsCollector
 from ..sim.rng import SeedSequenceFactory
-from ..hierarchy.aggregation import aggregate_round, AggregationReport
 from ..hierarchy.join import Hierarchy, build_hierarchy
 from ..hierarchy.maintenance import MaintenanceConfig, MaintenanceProtocol
 from ..hierarchy.node import AttachedOwner, Server
-from ..overlay.replication import ReplicationOverlay, ReplicationReport
+from ..overlay.replication import ReplicationOverlay
 from ..telemetry.core import Telemetry
 from .client import QueryExecution, QueryOutcome
 from .config import RoadsConfig
 from .policy import PolicyTable, SharingPolicy
+from .update_plane import UpdatePlane, UpdateRoundReport
 
 
 @dataclass
@@ -53,22 +53,6 @@ class GuestOwner:
     store: RecordStore
     attach_to: int
     owner_id: Optional[str] = None
-
-
-@dataclass
-class UpdateRoundReport:
-    """Byte accounting for one summary epoch (t_s)."""
-
-    aggregation: AggregationReport
-    replication: ReplicationReport
-
-    @property
-    def total_bytes(self) -> int:
-        return self.aggregation.total_bytes + self.replication.replication_bytes
-
-    @property
-    def total_messages(self) -> int:
-        return self.aggregation.messages + self.replication.messages
 
 
 class RoadsSystem:
@@ -92,6 +76,9 @@ class RoadsSystem:
         self.policies = policies
         self.metrics = network.metrics
         self.telemetry = telemetry
+        #: the event-driven summary plane; ``build`` wires one in, and
+        #: :meth:`refresh` lazily creates one for hand-assembled systems
+        self.update_plane: Optional[UpdatePlane] = None
         self.maintenance: Optional[MaintenanceProtocol] = None
         self._rng = np.random.default_rng(config.seed)
         self.last_update_report: Optional[UpdateRoundReport] = None
@@ -142,7 +129,12 @@ class RoadsSystem:
             # event dispatch stays a single attribute check when disabled.
             sim.profiler = telemetry.profiler
         network = Network(
-            sim, delay_space, MetricsCollector(), telemetry=telemetry
+            sim, delay_space, MetricsCollector(),
+            loss_rate=config.loss_rate,
+            rng=(
+                seeds.generator("net-loss") if config.loss_rate > 0 else None
+            ),
+            telemetry=telemetry,
         )
         order = list(join_order) if join_order is not None else list(range(n))
         if sorted(order) != list(range(n)):
@@ -177,6 +169,13 @@ class RoadsSystem:
         overlay = ReplicationOverlay(hierarchy, config.summary)
         system = cls(
             config, sim, network, hierarchy, overlay, PolicyTable(),
+            telemetry=telemetry,
+        )
+        system.update_plane = UpdatePlane(
+            sim, network, hierarchy, overlay,
+            interval=config.summary_interval,
+            delta=config.delta_updates,
+            rng=seeds.generator("update-plane"),
             telemetry=telemetry,
         )
         for owner, sid in guest_owners:
@@ -222,35 +221,47 @@ class RoadsSystem:
         self.policies.set(owner_id, policy)
 
     # -- updates ----------------------------------------------------------------
-    def refresh(self, metrics: Optional[MetricsCollector] = None) -> UpdateRoundReport:
-        """One summary epoch: bottom-up aggregation + overlay replication."""
-        now = self.sim.now
-        delta = self.config.delta_updates
-        agg = aggregate_round(
-            self.hierarchy,
-            self.config.summary,
-            now,
-            metrics or self.metrics,
-            delta=delta,
-            telemetry=self.telemetry,
-        )
-        rep = self.overlay.replicate_round(
-            now, metrics or self.metrics, delta=delta,
-            telemetry=self.telemetry,
-        )
-        self.last_update_report = UpdateRoundReport(aggregation=agg, replication=rep)
+    def _plane(self) -> UpdatePlane:
+        if self.update_plane is None:
+            # Hand-assembled system (tests building the pieces directly):
+            # attach a plane with the config's update parameters.
+            self.update_plane = UpdatePlane(
+                self.sim, self.network, self.hierarchy, self.overlay,
+                interval=self.config.summary_interval,
+                delta=self.config.delta_updates,
+                telemetry=self.telemetry,
+            )
+        return self.update_plane
+
+    def refresh(self) -> UpdateRoundReport:
+        """One summary epoch, driven through the message fabric.
+
+        Compatibility shim over :meth:`UpdatePlane.run_epoch`: triggers a
+        coordinated epoch (guest exports, then bottom-up reports deepest
+        level first, replica pushes alongside) and drains the simulator
+        to quiescence, so callers see the same completed-epoch semantics
+        — and, loss-free, the same byte totals — as the old synchronous
+        in-place rounds. The virtual clock advances by the epoch's real
+        propagation time.
+        """
+        report = self._plane().run_epoch()
+        self.last_update_report = report
         if self.telemetry is not None:
             self.telemetry.event(
                 "update.epoch",
-                aggregation_bytes=agg.total_bytes,
-                replication_bytes=rep.replication_bytes,
+                aggregation_bytes=report.aggregation.total_bytes,
+                replication_bytes=report.replication.replication_bytes,
             )
-        return self.last_update_report
+        return report
 
     def update_bytes_per_epoch(self) -> int:
-        """Bytes one summary epoch costs (measured, not modelled)."""
-        report = self.refresh(metrics=MetricsCollector())
-        return report.total_bytes
+        """Bytes one summary epoch costs (measured, not modelled).
+
+        A pure measurement: protocol soft state (summaries, delta
+        fingerprints, owner exports) is snapshot and restored, so asking
+        the question does not change what the next epoch sends.
+        """
+        return self._plane().measure_epoch().total_bytes
 
     def update_overhead(self, window_seconds: float) -> int:
         """Total update bytes over *window_seconds* of operation.
@@ -327,15 +338,12 @@ class RoadsSystem:
             else None
         )
         try:
-            if scope is not None or not use_overlay:
-                # Descent-only entry: no overlay fan-out beyond the subtree.
-                execution._contact(start_server, mode="descent")
-                execution.outcome.started_at = self.sim.now
-                while not execution._done and self.sim.step():
-                    pass
-                outcome = execution.outcome
-            else:
-                outcome = execution.run()
+            # Descent-only entry (scoped search, or the basic hierarchy
+            # without the overlay) stays inside the start server's branch.
+            mode = (
+                "descent" if scope is not None or not use_overlay else "start"
+            )
+            outcome = execution.run(mode=mode)
         except BaseException:
             if span is not None:
                 span.close()
@@ -413,6 +421,7 @@ class RoadsSystem:
             self.maintenance = MaintenanceProtocol(
                 self.sim, self.network, self.hierarchy, config,
                 telemetry=self.telemetry,
+                update_plane=self._plane(),
             )
         return self.maintenance
 

@@ -1,0 +1,541 @@
+"""The event-driven summary update plane.
+
+Historically one call to :meth:`RoadsSystem.refresh` ran bottom-up
+aggregation and overlay replication as synchronous in-place passes over
+the whole hierarchy: correct byte accounting, but no summary ever
+actually crossed the simulated network — a lost update could not make a
+summary stale, so the paper's soft-state/TTL story was untestable.
+
+:class:`UpdatePlane` moves both passes onto the message fabric. Every
+server is a protocol actor: it periodically exports its branch summary
+to its parent and pushes its summaries to its overlay holders through
+:meth:`~repro.net.transport.Network.send`, as distinct ``summary-full``
+/ ``summary-keepalive`` message kinds. Installation happens at delivery
+time at the receiver (:meth:`SummaryUpdate.install`); a lost full send
+leaves the receiver silently rejecting the sender's keep-alives until
+the held content ages past its TTL — genuine observable staleness — and
+the sender's periodic forced full (``refresh_after``) heals it.
+
+Two driving modes:
+
+* :meth:`run_epoch` — one coordinated epoch, drained to quiescence:
+  exports are staggered deepest-first so each parent hears all its
+  children before it reports upward, making a loss-free epoch
+  byte-for-byte identical to the old synchronous rounds (figures and
+  committed benchmark baselines still reproduce).
+* :meth:`start` — free-running per-server periodic ticks with jitter,
+  for experiments that measure propagation lag and staleness under
+  message loss.
+
+:meth:`measure_epoch` answers "what would one epoch cost?" without
+perturbing any protocol state (summaries, delta fingerprints, owner
+exports are snapshot and restored) — the observer effect that used to
+make ``update_bytes_per_epoch()`` change subsequent epochs is gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..hierarchy.aggregation import (
+    AggregationReport,
+    SummaryExporter,
+    SummaryUpdate,
+    aggregate_round,
+    build_owner_export,
+)
+from ..hierarchy.join import Hierarchy
+from ..hierarchy.node import Server
+from ..net.transport import (
+    Message,
+    Network,
+    SUMMARY_FULL,
+    SUMMARY_KEEPALIVE,
+)
+from ..overlay.replication import (
+    ReplicaPusher,
+    ReplicationOverlay,
+    ReplicationReport,
+)
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.metrics import UPDATE
+from ..summaries.config import SummaryConfig
+from ..telemetry.core import Telemetry
+
+
+@dataclass
+class UpdateRoundReport:
+    """Byte accounting for one summary epoch (t_s)."""
+
+    aggregation: AggregationReport
+    replication: ReplicationReport
+
+    @property
+    def total_bytes(self) -> int:
+        return self.aggregation.total_bytes + self.replication.replication_bytes
+
+    @property
+    def total_messages(self) -> int:
+        return self.aggregation.messages + self.replication.messages
+
+
+@dataclass
+class PlaneCounters:
+    """Cumulative update-plane accounting (epoch reports diff snapshots)."""
+
+    export_bytes: int = 0
+    export_messages: int = 0
+    aggregation_bytes: int = 0
+    aggregation_messages: int = 0
+    full_reports: int = 0
+    keepalive_reports: int = 0
+    replication_bytes: int = 0
+    replication_messages: int = 0
+    full_sends: int = 0
+    keepalive_sends: int = 0
+    #: delivery-time outcomes
+    installed: int = 0
+    refreshed: int = 0
+    ignored: int = 0
+    #: terminal message dispositions that never reached a handler
+    lost: int = 0
+    dropped: int = 0
+    #: soft-state entries that aged past their TTL and were removed
+    expired: int = 0
+    #: full-summary install lag (send -> install), streaming moments
+    install_lag_sum: float = 0.0
+    install_lag_max: float = 0.0
+    installs_timed: int = 0
+
+
+class UpdatePlane:
+    """Per-server summary export/replication actors on the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        hierarchy: Hierarchy,
+        overlay: ReplicationOverlay,
+        *,
+        interval: float = 60.0,
+        delta: bool = False,
+        refresh_after: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.hierarchy = hierarchy
+        self.overlay = overlay
+        self.config: SummaryConfig = overlay.config
+        self.interval = interval
+        self.delta = delta
+        self.refresh_after = (
+            refresh_after if refresh_after is not None else self.config.ttl
+        )
+        self.telemetry = telemetry
+        # Cached like Network's: the disabled path stays one attribute test.
+        self._profiler = telemetry.profiler if telemetry is not None else None
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.counters = PlaneCounters()
+        self.epochs = 0
+        self.ticks = 0
+        self._exporters: Dict[int, SummaryExporter] = {}
+        self._pushers: Dict[int, ReplicaPusher] = {}
+        #: messages and scheduled epoch events not yet terminally resolved
+        self._inflight = 0
+        self._tasks: Dict[int, PeriodicTask] = {}
+        network.register_kind(SUMMARY_FULL, self._on_update)
+        network.register_kind(SUMMARY_KEEPALIVE, self._on_update)
+
+    # -- actor registry ----------------------------------------------------------
+    def _exporter(self, server: Server) -> SummaryExporter:
+        ex = self._exporters.get(server.server_id)
+        if ex is None or ex.server is not server:
+            ex = SummaryExporter(
+                server, self.config,
+                delta=self.delta, refresh_after=self.refresh_after,
+            )
+            self._exporters[server.server_id] = ex
+        return ex
+
+    def _pusher(self, server: Server) -> ReplicaPusher:
+        pu = self._pushers.get(server.server_id)
+        if pu is None or pu.server is not server:
+            pu = ReplicaPusher(
+                server, self.overlay,
+                delta=self.delta, refresh_after=self.refresh_after,
+            )
+            self._pushers[server.server_id] = pu
+        return pu
+
+    # -- message plumbing --------------------------------------------------------
+    def _send_update(
+        self, src: int, dst: int, update: SummaryUpdate, size: int, phase: str
+    ) -> None:
+        self._inflight += 1
+        kind = SUMMARY_KEEPALIVE if update.summary is None else SUMMARY_FULL
+        self.network.send(
+            src, dst, UPDATE, size,
+            payload=update, phase=phase, kind=kind,
+            on_dropped=self._on_dropped,
+        )
+
+    def _on_dropped(self, msg: Message, reason: str) -> None:
+        self._inflight -= 1
+        if reason == "lost":
+            self.counters.lost += 1
+        else:
+            self.counters.dropped += 1
+
+    def _on_update(self, msg: Message) -> None:
+        self._inflight -= 1
+        c = self.counters
+        try:
+            server = self.hierarchy.get(msg.dst)
+        except KeyError:
+            c.ignored += 1  # receiver left the federation in flight
+            return
+        update: SummaryUpdate = msg.payload
+        outcome = update.install(server, self.sim.now)
+        if outcome == "installed":
+            c.installed += 1
+            if update.summary is not None:
+                lag = self.sim.now - update.summary.created_at
+                c.install_lag_sum += lag
+                c.installs_timed += 1
+                if lag > c.install_lag_max:
+                    c.install_lag_max = lag
+        elif outcome == "refreshed":
+            c.refreshed += 1
+        else:
+            c.ignored += 1
+
+    # -- per-server protocol steps -------------------------------------------------
+    def _export_guest_owners(self, server: Server) -> None:
+        """Guest owners re-export their summary to their attachment point."""
+        now = self.sim.now
+        for owner in server.owners:
+            if owner.controls_server:
+                continue
+            update, size = build_owner_export(owner, self.config, now)
+            self.counters.export_bytes += size
+            self.counters.export_messages += 1
+            src = owner.node_id if owner.node_id is not None else server.server_id
+            self._send_update(src, server.server_id, update, size, "export")
+
+    def _export_to_parent(self, server: Server, *, force_full: bool = False) -> None:
+        prof = self._profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        built = self._exporter(server).build_update(
+            self.sim.now, force_full=force_full
+        )
+        if built is not None:
+            update, size = built
+            c = self.counters
+            c.aggregation_bytes += size
+            c.aggregation_messages += 1
+            if update.summary is None and update.fingerprint is not None:
+                c.keepalive_reports += 1
+            elif update.summary is not None:
+                c.full_reports += 1
+            self._send_update(
+                server.server_id, server.parent.server_id,
+                update, size, "aggregate",
+            )
+        if prof is not None:
+            prof.add("update.aggregate", perf_counter() - t0)
+
+    def _push_replicas(self, server: Server, *, force_full: bool = False) -> None:
+        prof = self._profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        pushes = self._pusher(server).build_updates(
+            self.sim.now, force_full=force_full
+        )
+        c = self.counters
+        for holder_id, update, size in pushes:
+            c.replication_bytes += size
+            c.replication_messages += 1
+            if update.summary is None:
+                c.keepalive_sends += 1
+            else:
+                c.full_sends += 1
+            self._send_update(
+                server.server_id, holder_id, update, size, "replicate"
+            )
+        if prof is not None:
+            prof.add("update.replicate", perf_counter() - t0)
+
+    # -- coordinated epochs (refresh() compatibility) ------------------------------
+    def _schedule(self, delay: float, fn) -> None:
+        """Schedule an epoch step, tracked by the in-flight counter."""
+        self._inflight += 1
+
+        def step() -> None:
+            self._inflight -= 1
+            fn()
+
+        self.sim.schedule(delay, step)
+
+    def _cascade_stagger(self) -> float:
+        """Per-level slot width: every report lands within one slot.
+
+        At least the worst one-way latency of any parent-child or
+        guest-owner-attachment edge plus the receiver processing delay,
+        stretched slightly so a level's deliveries strictly precede the
+        next level's export events.
+        """
+        net = self.network
+        worst = 0.0
+        for server in self.hierarchy:
+            sid = server.server_id
+            if server.parent is not None:
+                lat = net.latency(sid, server.parent.server_id)
+                if lat > worst:
+                    worst = lat
+            for owner in server.owners:
+                if not owner.controls_server and owner.node_id is not None:
+                    lat = net.latency(owner.node_id, sid)
+                    if lat > worst:
+                        worst = lat
+        return (worst + net.processing_delay) * 1.001 + 1e-9
+
+    def trigger_epoch(self) -> None:
+        """Schedule one coordinated epoch: deepest servers export first.
+
+        Guest owners export at slot zero; a server at depth ``d``
+        exports (and pushes its replicas) at slot ``max_depth - d + 1``,
+        so its children's reports — and therefore exactly the branch
+        summary the old synchronous post-order pass would have built —
+        have arrived by the time it runs.
+        """
+        stagger = self._cascade_stagger()
+        max_depth = 0
+        for server in self.hierarchy:
+            if server.alive and server.depth > max_depth:
+                max_depth = server.depth
+        for server in list(self.hierarchy):
+            if any(not o.controls_server for o in server.owners):
+                self._schedule(
+                    0.0, lambda s=server: self._export_guest_owners(s)
+                )
+            if not server.alive:
+                continue
+            slot = (max_depth - server.depth + 1) * stagger
+
+            def act(s: Server = server) -> None:
+                self.counters.expired += s.expire_stale_summaries(self.sim.now)
+                if s.parent is not None:
+                    self._export_to_parent(s)
+                self._push_replicas(s)
+
+            self._schedule(slot, act)
+
+    def drain(self) -> None:
+        """Step the simulator until every epoch step and message resolves."""
+        while self._inflight > 0 and self.sim.step():
+            pass
+
+    def run_epoch(self) -> UpdateRoundReport:
+        """One epoch, drained to quiescence; returns its byte accounting."""
+        before = replace(self.counters)
+        t0 = self.sim.now
+        self.trigger_epoch()
+        self.drain()
+        self.epochs += 1
+        c = self.counters
+        agg = AggregationReport(
+            export_bytes=c.export_bytes - before.export_bytes,
+            aggregation_bytes=c.aggregation_bytes - before.aggregation_bytes,
+            messages=c.aggregation_messages - before.aggregation_messages,
+            full_reports=c.full_reports - before.full_reports,
+            keepalive_reports=c.keepalive_reports - before.keepalive_reports,
+        )
+        rep = ReplicationReport(
+            replication_bytes=c.replication_bytes - before.replication_bytes,
+            messages=c.replication_messages - before.replication_messages,
+            full_sends=c.full_sends - before.full_sends,
+            keepalive_sends=c.keepalive_sends - before.keepalive_sends,
+        )
+        tel = self.telemetry
+        if tel is not None:
+            now = self.sim.now
+            tel.emit_span(
+                "update.aggregate", t0, now,
+                bytes=agg.total_bytes, messages=agg.messages,
+                full_reports=agg.full_reports,
+                keepalive_reports=agg.keepalive_reports, delta=self.delta,
+            )
+            tel.emit_span(
+                "update.replicate", t0, now,
+                bytes=rep.replication_bytes, messages=rep.messages,
+                full_sends=rep.full_sends,
+                keepalive_sends=rep.keepalive_sends, delta=self.delta,
+            )
+        return UpdateRoundReport(aggregation=agg, replication=rep)
+
+    # -- free-running mode ---------------------------------------------------------
+    def start(self, *, jitter: float = 0.05) -> None:
+        """Run every server's update actor periodically (paper's t_s).
+
+        First ticks are spread uniformly over one interval so the plane
+        has no global phase; subsequent ticks jitter independently.
+        Opt-in: coordinated :meth:`run_epoch` callers never pay for (or
+        observe) background traffic they didn't ask for.
+        """
+        if self._tasks:
+            return
+        for server in list(self.hierarchy):
+            sid = server.server_id
+            first = float(self._rng.random()) * self.interval
+            self._tasks[sid] = self.sim.schedule_periodic(
+                self.interval,
+                lambda s=sid: self._tick(s),
+                first_delay=first,
+                jitter=jitter,
+                rng=self._rng,
+            )
+
+    def stop(self) -> None:
+        for task in self._tasks.values():
+            task.stop()
+        self._tasks.clear()
+
+    def _tick(self, server_id: int) -> None:
+        try:
+            server = self.hierarchy.get(server_id)
+        except KeyError:
+            task = self._tasks.pop(server_id, None)
+            if task is not None:
+                task.stop()
+            return
+        if not server.alive:
+            return
+        self.ticks += 1
+        self.counters.expired += server.expire_stale_summaries(self.sim.now)
+        self._export_guest_owners(server)
+        if server.parent is not None:
+            self._export_to_parent(server)
+        self._push_replicas(server)
+
+    # -- maintenance hooks -----------------------------------------------------------
+    def on_rejoin(self, server: Server) -> None:
+        """A server re-attached under a new parent: re-export immediately.
+
+        The exporter forgets its previous parent, forcing the next report
+        to carry the full branch summary (the new parent holds no state
+        for this child), and an export fires right away rather than
+        waiting out the current period.
+        """
+        self._exporter(server).forget_parent()
+        if server.parent is not None and server.alive:
+            self._schedule(0.0, lambda: (
+                self._export_to_parent(server)
+                if server.parent is not None and server.alive
+                else None
+            ))
+
+    def heartbeat_fingerprint(self, server: Server) -> Optional[bytes]:
+        """Fingerprint a child piggybacks on its parent heartbeat."""
+        return server.last_reported_fingerprint
+
+    def on_heartbeat_fingerprint(
+        self, parent: Server, child_id: int, fingerprint: bytes
+    ) -> bool:
+        """Child heartbeat carried a summary fingerprint: refresh TTL.
+
+        Same acceptance rule as a keep-alive message: the parent's held
+        child summary is re-stamped only when the content matches.
+        """
+        ok = parent.refresh_summary(
+            "child", child_id, fingerprint, self.sim.now
+        )
+        if ok:
+            self.counters.refreshed += 1
+        return ok
+
+    # -- measurement -----------------------------------------------------------------
+    def measure_epoch(self) -> UpdateRoundReport:
+        """Cost of one epoch *without* running one.
+
+        Runs the legacy synchronous rounds — whose byte model a drained
+        loss-free epoch matches exactly — against a snapshot of all
+        protocol soft state, then restores it: summaries, delta
+        fingerprints and owner exports are untouched, no messages are
+        sent, and the virtual clock does not advance.
+
+        The legacy model has no anti-entropy: when more than
+        ``refresh_after`` has passed since a sender's last full send, a
+        real epoch forces a full re-send where this measurement counts a
+        keep-alive. Within one ``refresh_after`` of the previous epoch
+        (the steady state every figure runs in) the two agree exactly.
+        """
+        now = self.sim.now
+        saved = [
+            (
+                server,
+                dict(server.child_summaries),
+                dict(server.replicated_summaries),
+                dict(server.replicated_local_summaries),
+                server.last_reported_fingerprint,
+                [(o, o.summary) for o in server.owners],
+            )
+            for server in self.hierarchy
+        ]
+        saved_fp = dict(self.overlay._last_fp)
+        try:
+            agg = aggregate_round(
+                self.hierarchy, self.config, now, None, delta=self.delta
+            )
+            rep = self.overlay.replicate_round(now, None, delta=self.delta)
+        finally:
+            for server, child, rep_t, rep_local, fp, owners in saved:
+                server.child_summaries = child
+                server.replicated_summaries = rep_t
+                server.replicated_local_summaries = rep_local
+                server.last_reported_fingerprint = fp
+                for owner, summary in owners:
+                    owner.summary = summary
+            self.overlay._last_fp = saved_fp
+        return UpdateRoundReport(aggregation=agg, replication=rep)
+
+    def staleness_snapshot(
+        self, *, stale_after: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Age statistics over every held soft-state summary, right now.
+
+        ``stale_after`` defaults to 1.5 update intervals: in loss-free
+        steady state every entry is refreshed once per interval, so
+        anything older has missed at least one update.
+        """
+        threshold = (
+            stale_after if stale_after is not None else 1.5 * self.interval
+        )
+        ages: List[float] = []
+        now = self.sim.now
+        for server in self.hierarchy:
+            ages.extend(server.summary_ages(now))
+        n = len(ages)
+        c = self.counters
+        return {
+            "entries": float(n),
+            "age_mean": float(sum(ages) / n) if n else 0.0,
+            "age_max": float(max(ages)) if n else 0.0,
+            "stale_fraction": (
+                float(sum(1 for a in ages if a > threshold) / n) if n else 0.0
+            ),
+            "expired": float(c.expired),
+            "lost": float(c.lost),
+            "installed": float(c.installed),
+            "refreshed": float(c.refreshed),
+            "rejected": float(c.ignored),
+            "install_lag_mean": (
+                c.install_lag_sum / c.installs_timed if c.installs_timed else 0.0
+            ),
+            "install_lag_max": c.install_lag_max,
+        }

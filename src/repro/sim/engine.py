@@ -21,16 +21,25 @@ class SimulationError(RuntimeError):
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: float, seq: int, fn: Callable[[], None], sim=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        """Cancel the event; no-op if already cancelled or fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        # Keep the owning simulator's live-event counter exact so
+        # ``Simulator.pending`` stays O(1).
+        if self._sim is not None:
+            self._sim._pending -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -44,6 +53,9 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        # Live (not-yet-fired, not-cancelled) event count, maintained on
+        # schedule/cancel/fire so ``pending`` never scans the heap.
+        self._pending = 0
         #: optional wall-clock profiler; when set, dispatch time is
         #: accumulated under ``sim.dispatch`` and processed events under
         #: the ``sim.events`` counter (None keeps the hot path free).
@@ -56,8 +68,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (not-yet-fired, non-cancelled) events. O(1)."""
+        return self._pending
 
     @property
     def processed(self) -> int:
@@ -68,8 +80,9 @@ class Simulator:
         """Run *fn* at ``now + delay``; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(self._now + delay, next(self._seq), fn)
+        ev = Event(self._now + delay, next(self._seq), fn, self)
         heapq.heappush(self._queue, ev)
+        self._pending += 1
         return ev
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
@@ -112,6 +125,8 @@ class Simulator:
                 heapq.heappush(self._queue, ev)
                 break
             self._now = ev.time
+            ev.fired = True
+            self._pending -= 1
             ev.fn()
             processed += 1
             self._processed += 1
@@ -131,6 +146,8 @@ class Simulator:
             if ev.cancelled:
                 continue
             self._now = ev.time
+            ev.fired = True
+            self._pending -= 1
             ev.fn()
             self._processed += 1
             if prof is not None:

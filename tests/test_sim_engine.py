@@ -101,6 +101,54 @@ class TestRunControl:
         assert sim.processed == 4
 
 
+class TestPendingCounter:
+    """``Simulator.pending`` is an exact O(1) live-event count."""
+
+    def test_cancel_decrements_pending(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        ev.cancel()
+        assert sim.pending == 1
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        ev.cancel()
+        assert sim.pending == 0
+
+    def test_max_events_pushback_keeps_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancelled_events_never_fire_and_drain(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(2.0, lambda: fired.append("keep"))
+        drop = sim.schedule(1.0, lambda: fired.append("drop"))
+        drop.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert sim.pending == 0
+        assert keep.fired and not drop.fired
+
+
 class TestPeriodicTask:
     def test_fires_repeatedly(self):
         sim = Simulator()

@@ -1,0 +1,411 @@
+"""The event-driven summary update plane.
+
+Summaries now travel as real simulated messages (``summary-full`` /
+``summary-keepalive`` kinds) installed at delivery time; these tests pin
+down the properties that matter:
+
+* a drained loss-free epoch costs byte-for-byte what the legacy
+  synchronous rounds modelled (figures keep reproducing);
+* measuring an epoch's cost does not perturb delta state (the old
+  ``update_bytes_per_epoch`` observer effect);
+* a lost full update leaves genuinely stale soft state: keep-alives are
+  rejected, queries quietly miss the unreachable content, the entry
+  expires at its TTL, and the sender's forced full re-send heals it;
+* maintenance integration: rejoins re-export immediately, heartbeats
+  can piggyback summary fingerprints;
+* the public ``QueryExecution.run(mode=...)`` entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.transport import SUMMARY_FULL, SUMMARY_KEEPALIVE
+from repro.query import Query, RangePredicate
+from repro.roads import GuestOwner, RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.workload import WorkloadConfig, generate_node_stores, merge_stores
+from repro.workload.queries import generate_queries
+
+N = 18
+RECORDS = 24
+BUCKETS = 120
+
+
+def build(
+    *, delta=True, seed=21, ttl=300.0, loss_rate=0.0, guests=(), n=N
+):
+    wcfg = WorkloadConfig(num_nodes=n, records_per_node=RECORDS, seed=seed)
+    stores = generate_node_stores(wcfg)
+    system = RoadsSystem.build(
+        RoadsConfig(
+            num_nodes=n,
+            records_per_node=RECORDS,
+            max_children=3,
+            summary=SummaryConfig(histogram_buckets=BUCKETS, ttl=ttl),
+            delta_updates=delta,
+            loss_rate=loss_rate,
+            seed=seed,
+        ),
+        stores,
+        guests=list(guests),
+    )
+    return wcfg, stores, system
+
+
+class _AlwaysLose:
+    """rng stub: every loss draw comes up lost."""
+
+    def random(self):
+        return 0.0
+
+
+def lossy(network):
+    network.loss_rate = 0.9
+    network._rng = _AlwaysLose()
+
+
+def lossless(network):
+    network.loss_rate = 0.0
+    network._rng = None
+
+
+class TestEpochParity:
+    """A drained epoch reproduces the legacy synchronous byte model."""
+
+    @pytest.mark.parametrize("delta", [False, True])
+    def test_epoch_matches_measured_cost(self, delta):
+        _, _, system = build(delta=delta)
+        measured = system.update_plane.measure_epoch()
+        epoch = system.refresh()
+        assert epoch.total_bytes == measured.total_bytes
+        assert epoch.total_messages == measured.total_messages
+        assert (
+            epoch.aggregation.full_reports
+            == measured.aggregation.full_reports
+        )
+        assert (
+            epoch.replication.full_sends == measured.replication.full_sends
+        )
+
+    def test_epoch_parity_with_guests(self):
+        wcfg = WorkloadConfig(num_nodes=N, records_per_node=RECORDS, seed=3)
+        gs = generate_node_stores(wcfg)[0]
+        _, _, system = build(
+            seed=3, guests=[GuestOwner(gs, attach_to=2, owner_id="g")]
+        )
+        measured = system.update_plane.measure_epoch()
+        epoch = system.refresh()
+        assert epoch.aggregation.export_bytes > 0
+        assert (
+            epoch.aggregation.export_bytes
+            == measured.aggregation.export_bytes
+        )
+        assert epoch.total_bytes == measured.total_bytes
+
+    def test_update_messages_use_wire_kinds(self):
+        _, stores, system = build()
+        # Churn one record so the steady-state delta epoch still carries
+        # at least one full send alongside the keep-alives.
+        old = float(stores[0].numeric_column("u0")[0])
+        stores[0].update_numeric(
+            0, "u0", 1.0 - old if abs(old - 0.5) > 0.05 else 0.95
+        )
+        kinds = []
+        original = system.network.send
+
+        def spy(src, dst, category, size, *args, **kwargs):
+            if kwargs.get("kind"):
+                kinds.append((kwargs["kind"], size))
+            return original(src, dst, category, size, *args, **kwargs)
+
+        system.network.send = spy
+        system.refresh()
+        names = {k for k, _ in kinds}
+        assert names == {SUMMARY_FULL, SUMMARY_KEEPALIVE}
+        # Keep-alives are headers; full sends carry the encoded summary.
+        max_keepalive = max(s for k, s in kinds if k == SUMMARY_KEEPALIVE)
+        min_full = min(s for k, s in kinds if k == SUMMARY_FULL)
+        assert max_keepalive < min_full
+
+
+class TestMeasurementDoesNotPerturb:
+    """Satellite fix: asking an epoch's cost must not change the epoch."""
+
+    def test_measure_is_repeatable_and_clock_free(self):
+        _, _, system = build()
+        t = system.sim.now
+        a = system.update_bytes_per_epoch()
+        b = system.update_bytes_per_epoch()
+        assert a == b > 0
+        assert system.sim.now == t  # measurement sends nothing
+
+    def test_pending_change_still_ships_after_measuring(self):
+        """The old implementation ran a real round into a scratch
+        collector: it armed the delta fingerprints, so the change that
+        was about to propagate silently became a keep-alive. Measuring
+        must leave the pending full sends pending."""
+        _, stores, system = build()
+        system.refresh()  # steady state
+        store = stores[5]
+        old = float(store.numeric_column("u0")[0])
+        store.update_numeric(0, "u0", 1.0 - old if abs(old - 0.5) > 0.05 else 0.9)
+        measured = system.update_bytes_per_epoch()
+        report = system.refresh()
+        assert report.aggregation.full_reports >= 1
+        assert report.total_bytes == measured
+
+    def test_measure_preserves_soft_state_tables(self):
+        _, _, system = build()
+        system.refresh()
+        root = system.hierarchy.root
+        before = dict(root.child_summaries)
+        system.update_plane.measure_epoch()
+        assert root.child_summaries == before
+
+
+def empty_bucket_value(store, merged, buckets=BUCKETS):
+    """A u0 value in a bucket empty at *store* (prefer empty everywhere)."""
+    fallback = None
+    for b in range(buckets - 1):
+        lo, hi = b / buckets, (b + 1) / buckets
+        col = store.numeric_column("u0")
+        if ((col >= lo) & (col < hi)).any():
+            continue
+        value = (b + 0.5) / buckets
+        merged_col = merged.numeric_column("u0")
+        if not ((merged_col >= lo) & (merged_col < hi)).any():
+            return value
+        if fallback is None:
+            fallback = value
+    assert fallback is not None, "no empty bucket in the victim store"
+    return fallback
+
+
+class TestLossAndTTL:
+    """Lost full update -> stale soft state -> TTL expiry -> heal."""
+
+    def _stale_system(self, ttl=40.0):
+        _, stores, system = build(ttl=ttl)
+        system.refresh()  # steady state armed
+        leaf = max(system.hierarchy, key=lambda s: s.depth)
+        assert leaf.parent is not None
+        merged = merge_stores(stores)
+        value = empty_bucket_value(stores[leaf.server_id], merged)
+        stores[leaf.server_id].update_numeric(0, "u0", value)
+        # The epoch that would have propagated the change is lost whole.
+        lossy(system.network)
+        lost_report = system.refresh()
+        lossless(system.network)
+        assert system.update_plane.counters.lost > 0
+        assert lost_report.aggregation.full_reports >= 1
+        width = 1.0 / BUCKETS
+        query = Query.of(
+            RangePredicate("u0", value - width / 4, value + width / 4)
+        )
+        return stores, system, leaf, query
+
+    def test_lost_update_leaves_serving_stale_summary(self):
+        stores, system, leaf, query = self._stale_system()
+        plane = system.update_plane
+        rejected_before = plane.counters.ignored
+        report = system.refresh()  # clean epoch: keep-alives flow again
+        # The sender believes its content is unchanged-since-shipped, so
+        # it keeps sending keep-alives; receivers hold the pre-change
+        # content and must reject them rather than refresh a lie.
+        assert report.aggregation.keepalive_reports >= 1
+        assert plane.counters.ignored > rejected_before
+        held = leaf.parent.child_summaries[leaf.server_id]
+        assert not held.is_expired(system.sim.now)  # still serving...
+        assert held.fingerprint() != (
+            leaf.branch_summary(system.config.summary, system.sim.now)
+            .fingerprint()
+        )  # ...but genuinely stale
+        # A query for the new value quietly misses the changed owner:
+        # every summary on the routing path still shows the old content.
+        outcome = system.execute_query(query, client_node=0)
+        assert outcome.completed
+        owner = f"owner-{leaf.server_id}"
+        assert owner not in {h.owner_id for h in outcome.owner_hits}
+
+    def test_stale_summary_expires_and_query_degrades_gracefully(self):
+        stores, system, leaf, query = self._stale_system(ttl=40.0)
+        sim = system.sim
+        # Keep the rest of the soft state fresh while the stale entries
+        # age: epochs every 10s, rejection repeating each time.
+        for _ in range(3):
+            sim.run(until=sim.now + 10.0)
+            system.refresh()
+        stale_entry = leaf.parent.child_summaries[leaf.server_id]
+        assert not stale_entry.is_expired(sim.now)
+        sim.run(until=sim.now + 12.0)  # past the 40s TTL, no epoch yet
+        assert stale_entry.is_expired(sim.now)
+        outcome = system.execute_query(query, client_node=0)
+        assert outcome.completed  # expired branch degrades, not raises
+        owner = f"owner-{leaf.server_id}"
+        assert owner not in {h.owner_id for h in outcome.owner_hits}
+
+    def test_forced_full_resend_heals_staleness(self):
+        stores, system, leaf, query = self._stale_system(ttl=40.0)
+        sim = system.sim
+        for _ in range(3):
+            sim.run(until=sim.now + 10.0)
+            system.refresh()
+        sim.run(until=sim.now + 12.0)
+        # refresh_after (= ttl) has elapsed since the exporter's last
+        # full send: soft-state anti-entropy re-ships the full summary.
+        report = system.refresh()
+        assert report.aggregation.full_reports >= 1
+        held = leaf.parent.child_summaries[leaf.server_id]
+        assert held.fingerprint() == (
+            leaf.branch_summary(system.config.summary, sim.now).fingerprint()
+        )
+        outcome = system.execute_query(query, client_node=0)
+        owner = f"owner-{leaf.server_id}"
+        assert owner in {h.owner_id for h in outcome.owner_hits}
+        reference = merge_stores(stores)
+        assert outcome.total_matches == query.match_count(reference)
+
+    def test_seeded_loss_rate_reports_losses(self):
+        _, _, system = build(loss_rate=0.2, seed=9)
+        system.refresh()
+        assert system.update_plane.counters.lost > 0
+        assert system.network.lost > 0
+
+
+class TestFreeRunning:
+    def test_free_running_converges_to_exact_queries(self):
+        wcfg, stores, system = build(seed=11)
+        plane = system.update_plane
+        plane.start()
+        sim = system.sim
+        # Churn a record, then give the plane two intervals to carry the
+        # change through export, aggregation and replication.
+        old = float(stores[4].numeric_column("u0")[0])
+        stores[4].update_numeric(0, "u0", 1.0 - old if abs(old - 0.5) > 0.05 else 0.9)
+        sim.run(until=sim.now + 2.5 * plane.interval)
+        plane.stop()
+        assert plane.ticks >= len(system.hierarchy)
+        reference = merge_stores(stores)
+        for q in generate_queries(wcfg, num_queries=5, dimensions=2):
+            o = system.execute_query(q, client_node=1)
+            assert o.total_matches == q.match_count(reference)
+
+    def test_start_is_idempotent_and_stop_halts_traffic(self):
+        _, _, system = build()
+        plane = system.update_plane
+        plane.start()
+        tasks = dict(plane._tasks)
+        plane.start()
+        assert plane._tasks == tasks
+        plane.stop()
+        bytes_before = system.metrics.total_bytes
+        sim = system.sim
+        sim.run(until=sim.now + 3 * plane.interval)
+        assert system.metrics.total_bytes == bytes_before
+        assert plane._tasks == {}
+
+
+class TestMaintenanceIntegration:
+    def test_rejoin_triggers_immediate_full_export(self):
+        _, stores, system = build(seed=13)
+        proto = system.enable_maintenance()
+        system.refresh()
+        victim = next(
+            s for s in system.hierarchy
+            if not s.is_root and s.children and s.parent is not None
+        )
+        child = victim.children[0]
+        proto.fail(victim)
+        plane = system.update_plane
+        full_before = plane.counters.full_reports
+        system.sim.run(until=system.sim.now + 60.0)
+        assert proto.rejoins >= 1
+        assert child.parent is not None
+        assert child.parent.server_id != victim.server_id
+        # The rejoin hook re-exported without waiting for an epoch.
+        assert plane.counters.full_reports > full_before
+        assert child.server_id in child.parent.child_summaries
+
+    def test_heartbeat_piggyback_refreshes_child_ttl(self):
+        from repro.hierarchy.maintenance import MaintenanceConfig
+
+        _, _, system = build(seed=15)
+        system.enable_maintenance(
+            MaintenanceConfig(
+                heartbeat_interval=2.0, piggyback_summaries=True
+            )
+        )
+        system.refresh()
+        leaf = max(system.hierarchy, key=lambda s: s.depth)
+        held = leaf.parent.child_summaries[leaf.server_id]
+        stamped = held.created_at
+        sim = system.sim
+        sim.run(until=sim.now + 10.0)  # heartbeats only, no epochs
+        refreshed = leaf.parent.child_summaries[leaf.server_id]
+        assert refreshed.created_at > stamped
+        assert refreshed.fingerprint() == held.fingerprint()
+
+    def test_heartbeat_piggyback_off_by_default(self):
+        from repro.sim.metrics import MAINTENANCE
+
+        def maintenance_bytes(piggyback):
+            from repro.hierarchy.maintenance import MaintenanceConfig
+
+            _, _, system = build(seed=15)
+            system.enable_maintenance(
+                MaintenanceConfig(
+                    heartbeat_interval=2.0,
+                    piggyback_summaries=piggyback,
+                )
+            )
+            system.refresh()
+            start = system.sim.now
+            system.sim.run(until=start + 10.0)
+            return system.metrics.bytes_by_category.get(MAINTENANCE, 0)
+
+        assert maintenance_bytes(False) < maintenance_bytes(True)
+
+
+class TestQueryEntryModes:
+    def test_run_mode_descent_matches_scoped_semantics(self):
+        _, stores, system = build(seed=17)
+        system.refresh()
+        root = system.hierarchy.root
+        branch = root.children[0]
+        branch_ids = {s.server_id for s in branch.iter_subtree()}
+        q = Query.of(RangePredicate("u0", 0.0, 1.0))
+        outcome = system.execute_query(q, client_node=0, scope=branch.server_id)
+        contacted_servers = set(outcome.arrivals) & {
+            s.server_id for s in system.hierarchy
+        }
+        assert contacted_servers <= branch_ids
+        reference = merge_stores(
+            [stores[i] for i in sorted(branch_ids) if i < len(stores)]
+        )
+        assert outcome.total_matches == q.match_count(reference)
+
+    def test_invalid_mode_rejected(self):
+        from repro.roads import QueryExecution
+
+        _, _, system = build(seed=17)
+        q = Query.of(RangePredicate("u0", 0.4, 0.6))
+        execution = QueryExecution(
+            system.sim, system.network, system.hierarchy,
+            system.config.summary, system.policies, q, 0, 0,
+        )
+        with pytest.raises(ValueError, match="mode"):
+            execution.run(mode="sideways")
+
+    def test_done_property_tracks_completion(self):
+        from repro.roads import QueryExecution
+
+        _, _, system = build(seed=17)
+        system.refresh()
+        q = Query.of(RangePredicate("u0", 0.4, 0.6))
+        execution = QueryExecution(
+            system.sim, system.network, system.hierarchy,
+            system.config.summary, system.policies, q, 0, 0,
+        )
+        assert not execution.done
+        execution.run(mode="start")
+        assert execution.done
