@@ -12,7 +12,7 @@ from conftest import run_once
 from repro.experiments import print_table
 from repro.query import EqualsPredicate, Query, RangePredicate
 from repro.records import RecordStore, stream_processing_schema
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 
 
@@ -76,7 +76,7 @@ def test_bloom_ablation(benchmark, settings):
             system = RoadsSystem.build(cfg, stores)
             contacted, got = [], []
             for q in queries:
-                o = system.execute_query(q, client_node=0)
+                o = system.search(SearchRequest(q, client_node=0)).outcome
                 contacted.append(o.servers_contacted)
                 got.append(o.total_matches)
             rows.append(

@@ -10,7 +10,7 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments import build_workload, print_table
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import generate_queries
 
@@ -35,7 +35,7 @@ def test_bucket_resolution_ablation(benchmark, settings):
             system = RoadsSystem.build(cfg, stores)
             contacted, fp, matches = [], [], []
             for q in queries:
-                o = system.execute_query(q, client_node=0)
+                o = system.search(SearchRequest(q, client_node=0)).outcome
                 contacted.append(o.servers_contacted)
                 fp.append(sum(1 for h in o.owner_hits if h.false_positive))
                 matches.append(o.total_matches)

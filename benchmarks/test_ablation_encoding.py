@@ -10,7 +10,7 @@ import numpy as np
 from conftest import run_once
 
 from repro.experiments import ExperimentSettings, build_workload, print_table
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import generate_queries
 
@@ -41,7 +41,7 @@ def test_encoding_ablation(benchmark, settings):
             system = _build(s, stores, encoding)
             update = system.update_bytes_per_epoch()
             matches = [
-                system.execute_query(q, client_node=0).total_matches
+                system.search(SearchRequest(q, client_node=0)).outcome.total_matches
                 for q in queries
             ]
             rows.append(

@@ -17,6 +17,7 @@ from repro.experiments import (
     print_table,
     trial_queries,
 )
+from repro.roads import SearchRequest
 
 
 def test_overlay_ablation(benchmark, settings):
@@ -32,9 +33,7 @@ def test_overlay_ablation(benchmark, settings):
         for use_overlay in (True, False):
             lat, bytes_, root_hits, matches = [], [], 0, []
             for q, c in zip(queries, clients):
-                o = system.execute_query(
-                    q, client_node=int(c), use_overlay=use_overlay
-                )
+                o = system.search(SearchRequest(q, client_node=int(c), use_overlay=use_overlay)).outcome
                 lat.append(o.latency)
                 bytes_.append(o.query_bytes)
                 matches.append(o.total_matches)

@@ -20,7 +20,7 @@ import time
 import numpy as np
 from conftest import run_once
 
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.telemetry import Telemetry
 from repro.workload import WorkloadConfig, generate_node_stores
@@ -56,7 +56,7 @@ def _build(telemetry):
 def _run_batch(system, queries, clients):
     lat = bytes_ = servers = 0.0
     for q, c in zip(queries, clients):
-        o = system.execute_query(q, client_node=int(c))
+        o = system.search(SearchRequest(q, client_node=int(c))).outcome
         lat += o.latency
         bytes_ += o.query_bytes
         servers += o.servers_contacted

@@ -21,7 +21,7 @@ Run:  python examples/compute_marketplace.py
 import numpy as np
 
 from repro import Query, RangePredicate, EqualsPredicate, RecordStore
-from repro import RoadsConfig, RoadsSystem
+from repro import RoadsConfig, RoadsSystem, SearchRequest
 from repro.records import compute_resource_schema
 from repro.workload import merge_stores
 
@@ -75,7 +75,7 @@ def main() -> None:
         RangePredicate("load", 0.0, 0.3),
     )
     print(f"\nquery: {query}")
-    outcome = system.execute_query(query)
+    outcome = system.search(SearchRequest(query)).outcome
     print(f"  found {outcome.total_matches} machines "
           f"(ground truth {query.match_count(reference)}) in "
           f"{outcome.latency * 1000:.1f} ms across "
@@ -92,7 +92,7 @@ def main() -> None:
     system.refresh()  # next summary epoch
 
     reference = merge_stores(inventories)  # re-snapshot the ground truth
-    after = system.execute_query(query)
+    after = system.search(SearchRequest(query)).outcome
     print(f"  idle machines after the spike: {after.total_matches} "
           f"(ground truth {query.match_count(reference)})")
     assert after.total_matches == query.match_count(reference)
@@ -114,7 +114,9 @@ def main() -> None:
         [inventories[i] for i in range(ORGS) if i != victim_id]
     )
     healthy_client = next(s.server_id for s in system.hierarchy if s.alive)
-    healed = system.execute_query(query, client_node=healthy_client)
+    healed = system.search(
+        SearchRequest(query, client_node=healthy_client)
+    ).outcome
     print(f"  after healing: {healed.total_matches} machines "
           f"(ground truth without org {victim_id}: "
           f"{query.match_count(survivors)}); hierarchy "

@@ -24,7 +24,7 @@ from repro.experiments import ExperimentSettings, fig3_latency_vs_nodes
 from repro.experiments.charts import ascii_chart
 from repro.hierarchy import render_tree, tree_stats
 from repro.prototype import CentralResponder, RoadsResponder, SwordResponder
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import ResourceSummary, SummaryConfig
 from repro.sword import SwordConfig, SwordSystem
 from repro.central import CentralConfig, CentralSystem
@@ -54,7 +54,7 @@ def main() -> None:
     # 2. a traced query ----------------------------------------------------------
     print("\n=== traced query ===")
     q = generate_queries(wcfg, num_queries=3, dimensions=3)[0]
-    outcome = system.execute_query(q, client_node=5, trace=True)
+    outcome = system.search(SearchRequest(q, client_node=5, trace=True)).outcome
     print(f"query: {q}")
     print(outcome.format_trace())
     print(f"-> {outcome.total_matches} matches from "
@@ -71,7 +71,7 @@ def main() -> None:
     )
     model = expected_contacts(QueryCostParams(NODES, 3, p_leaf))
     measured = np.mean([
-        system.execute_query(qq, client_node=0).servers_contacted
+        system.search(SearchRequest(qq, client_node=0)).servers_contacted
         for qq in queries
     ])
     print(f"per-dimension match probabilities: "

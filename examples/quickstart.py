@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import RoadsConfig, RoadsSystem, SwordConfig, SwordSystem
+from repro import RoadsConfig, RoadsSystem, SearchRequest, SwordConfig, SwordSystem
 from repro.central import CentralConfig, CentralSystem
 from repro.workload import (
     WorkloadConfig,
@@ -54,7 +54,7 @@ def main() -> None:
 
     print("\nquery results (ROADS vs ground truth):")
     for q in queries[:5]:
-        outcome = system.execute_query(q)
+        outcome = system.search(SearchRequest(q)).outcome
         truth = q.match_count(reference)
         owners = sorted({h.owner_id for h in outcome.owner_hits if h.match_count})
         print(
@@ -82,7 +82,9 @@ def main() -> None:
     roads_lat, sword_lat = [], []
     for q in queries:
         client = int(rng.integers(0, NODES))
-        roads_lat.append(system.execute_query(q, client_node=client).latency)
+        roads_lat.append(
+            system.search(SearchRequest(q, client_node=client)).latency
+        )
         sword_lat.append(sword.execute_query(q, client).latency)
 
     print("\nhead-to-head over the same queries:")

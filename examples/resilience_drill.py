@@ -17,7 +17,7 @@ Run:  python examples/resilience_drill.py
 
 import numpy as np
 
-from repro import RoadsConfig, RoadsSystem
+from repro import RoadsConfig, RoadsSystem, SearchRequest
 from repro.hierarchy import MaintenanceConfig
 from repro.overlay import scope_candidates
 from repro.workload import (
@@ -36,7 +36,7 @@ def verify_queries(system, stores, queries, label):
     alive = [s.server_id for s in system.hierarchy if s.alive]
     reference = merge_stores([stores[i] for i in alive])
     for q in queries:
-        o = system.execute_query(q, client_node=alive[0])
+        o = system.search(SearchRequest(q, client_node=alive[0])).outcome
         assert o.total_matches == q.match_count(reference), label
     print(f"  [ok] {len(queries)} queries still exact ({label})")
 

@@ -28,6 +28,7 @@ from repro import (
     RecordStore,
     RoadsConfig,
     RoadsSystem,
+    SearchRequest,
     TieredPolicy,
 )
 from repro.query import greater_than
@@ -112,9 +113,11 @@ def main() -> None:
     print(f"\nquery: {query}")
 
     for requester in ("site-0", "site-1", "anonymous"):
-        outcome = system.execute_query(
-            query.with_requester(requester), collect_records=True
-        )
+        outcome = system.search(
+            SearchRequest(
+                query.with_requester(requester), collect_records=True
+            )
+        ).outcome
         records = outcome.matched_records()
         n = len(records) if records is not None else 0
         tag = "consortium" if requester in consortium else "public view"
@@ -131,8 +134,12 @@ def main() -> None:
     # The same owner presents different views to different parties —
     # exactly the behaviour DHT-based discovery cannot provide, since it
     # would require exporting raw records to arbitrary hash owners.
-    full = system.execute_query(query.with_requester("site-0")).total_matches
-    public = system.execute_query(query.with_requester("anonymous")).total_matches
+    full = system.search(
+        SearchRequest(query.with_requester("site-0"))
+    ).total_matches
+    public = system.search(
+        SearchRequest(query.with_requester("anonymous"))
+    ).total_matches
     print(f"\nconsortium sees {full} sources; the public sees {public}. "
           "Owners keep control without becoming undiscoverable.")
 

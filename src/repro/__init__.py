@@ -27,14 +27,14 @@ depends on:
 
 Quickstart::
 
-    from repro import RoadsConfig, RoadsSystem
+    from repro import RoadsConfig, RoadsSystem, SearchRequest
     from repro.workload import WorkloadConfig, generate_node_stores, generate_queries
 
     wcfg = WorkloadConfig(num_nodes=64, records_per_node=100)
     cfg = RoadsConfig(num_nodes=64, records_per_node=100)
     system = RoadsSystem.build(cfg, generate_node_stores(wcfg))
-    outcome = system.execute_query(generate_queries(wcfg, num_queries=1)[0])
-    print(outcome.latency, outcome.total_matches)
+    result = system.search(SearchRequest(generate_queries(wcfg, num_queries=1)[0]))
+    print(result.latency, result.total_matches)
 """
 
 from .records import (
@@ -58,8 +58,11 @@ from .roads import (
     OpenPolicy,
     PolicyTable,
     QueryOutcome,
+    RetryPolicy,
     RoadsConfig,
     RoadsSystem,
+    SearchRequest,
+    SearchResult,
     SharingPolicy,
     TieredPolicy,
 )
@@ -91,6 +94,9 @@ __all__ = [
     # systems
     "RoadsSystem",
     "RoadsConfig",
+    "SearchRequest",
+    "SearchResult",
+    "RetryPolicy",
     "QueryOutcome",
     "SharingPolicy",
     "OpenPolicy",

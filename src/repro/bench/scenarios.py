@@ -49,6 +49,7 @@ from ..experiments.figures import (
     fig10_latency_vs_degree,
     fig11_response_time_vs_selectivity,
 )
+from ..experiments.load import offered_load_rows
 from ..experiments.runner import instrumented_query_run
 from ..experiments.staleness import (
     LOSS_SWEEP,
@@ -62,6 +63,7 @@ from ..experiments.validation import (
     validate_fig5,
     validate_fig8,
     validate_fig11,
+    validate_load_plane,
 )
 from .artifact import BenchArtifact, SCHEMA, stamp
 from .profiler import WallClockProfiler
@@ -115,6 +117,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "degree": DEGREE_SWEEP,
             "selectivity": SELECTIVITY_SWEEP,
             "queries_per_group": 200,
+            "load_rates": (5.0, 20.0, 60.0),
+            "load_horizon": 20.0,
         }
     if scale == "quick":
         return {
@@ -125,6 +129,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "degree": (4, 8, 12),
             "selectivity": SELECTIVITY_SWEEP,
             "queries_per_group": 20,
+            "load_rates": (5.0, 20.0, 60.0),
+            "load_horizon": 12.0,
         }
     if scale == "smoke":
         return {
@@ -135,6 +141,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "degree": (4, 8),
             "selectivity": (0.001, 0.01, 0.03),
             "queries_per_group": 8,
+            "load_rates": (5.0, 60.0),
+            "load_horizon": 6.0,
         }
     raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
 
@@ -246,6 +254,14 @@ SCENARIOS: Dict[str, Scenario] = {
                 epochs=4 if sw["queries_per_group"] <= 8 else 8,
             ),
             validate_update_plane,
+        ),
+        Scenario(
+            "load_plane",
+            "Offered load vs latency/goodput (concurrent serving plane)",
+            lambda s, sw: offered_load_rows(
+                s, sw["load_rates"], horizon=sw["load_horizon"]
+            ),
+            validate_load_plane,
         ),
     )
 }

@@ -345,7 +345,11 @@ def _demo_telemetry(args) -> int:
     )
     wcfg = WorkloadConfig(num_nodes=16, records_per_node=40, seed=7)
     query = generate_queries(wcfg, num_queries=1)[0]
-    outcome = system.execute_query(query, client_node=0, trace=True)
+    from .roads import SearchRequest
+
+    outcome = system.search(
+        SearchRequest(query, client_node=0, trace=True)
+    ).outcome
     print(f"query contacted {outcome.servers_contacted} servers, "
           f"{outcome.total_matches} matches, "
           f"latency {outcome.latency * 1000:.1f} ms; trace:")

@@ -17,6 +17,7 @@ from ..central.system import CentralConfig, CentralSystem
 from ..query.query import Query
 from ..records.store import RecordStore
 from ..roads.config import RoadsConfig
+from ..roads.search import SearchRequest
 from ..roads.system import RoadsSystem
 from ..sim.rng import SeedSequenceFactory
 from ..summaries.config import SummaryConfig
@@ -149,8 +150,10 @@ def instrumented_query_run(
         queries, clients = queries[:num_queries], clients[:num_queries]
     tel = telemetry if telemetry is not None else Telemetry()
     system = build_roads(settings, stores, seed, telemetry=tel)
-    for q, c in zip(queries, clients):
-        system.execute_query(q, client_node=int(c), use_overlay=use_overlay)
+    system.search_many([
+        SearchRequest(q, client_node=int(c), use_overlay=use_overlay)
+        for q, c in zip(queries, clients)
+    ])
     return system, tel, system.hierarchy.root.server_id
 
 
@@ -164,7 +167,7 @@ def measure_roads(
 ) -> TrialMeasurement:
     lat, qbytes, servers, matches = [], [], [], []
     for q, c in zip(queries, clients):
-        o = system.execute_query(q, client_node=int(c))
+        o = system.search(SearchRequest(q, client_node=int(c))).outcome
         lat.append(o.latency)
         qbytes.append(o.query_bytes)
         servers.append(o.servers_contacted)

@@ -184,3 +184,60 @@ def validate_fig11(rows: Rows) -> List[str]:
     ) + check_monotone(
         rows, "central_mean_ms", direction="increasing"
     )
+
+
+def validate_load_plane(rows: Rows) -> List[str]:
+    """The bottleneck story: root entry saturates, overlay stays flat.
+
+    Rows come from :func:`repro.experiments.load.offered_load_rows`,
+    one per (offered rate, overlay on/off) pair.
+    """
+    failures: List[str] = []
+    if not rows:
+        return ["load_plane produced no rows"]
+    no_ov = sorted(
+        (r for r in rows if not r["use_overlay"]),
+        key=lambda r: float(r["rate"]),
+    )
+    ov = sorted(
+        (r for r in rows if r["use_overlay"]),
+        key=lambda r: float(r["rate"]),
+    )
+    if len(no_ov) < 2 or len(ov) < 2:
+        return ["load_plane sweep needs >= 2 rates per overlay setting"]
+    # Root entry: queue depth and tail latency must grow with offered
+    # load, and the top rate must push the root past its queue bound.
+    lo, hi = no_ov[0], no_ov[-1]
+    if float(hi["root_queue_max"]) <= float(lo["root_queue_max"]):
+        failures.append(
+            "no-overlay root queue depth did not grow with offered load "
+            f"({float(lo['root_queue_max']):g} -> "
+            f"{float(hi['root_queue_max']):g})"
+        )
+    if float(hi["latency_p95"]) <= float(lo["latency_p95"]):
+        failures.append(
+            "no-overlay p95 latency did not grow with offered load "
+            f"({float(lo['latency_p95']):g} -> "
+            f"{float(hi['latency_p95']):g})"
+        )
+    if float(hi["root_shed"]) + float(hi["shed_queries"]) <= 0:
+        failures.append(
+            "no-overlay top rate shed nothing: the root never saturated"
+        )
+    # Overlay: flat latency across the sweep, and clearly below the
+    # saturated root at the top rate.
+    p95s = [float(r["latency_p95"]) for r in ov]
+    if max(p95s) > 3.0 * max(min(p95s), 1e-9):
+        failures.append(
+            "overlay p95 latency not flat across the sweep "
+            f"({min(p95s):g} -> {max(p95s):g})"
+        )
+    if not float(ov[-1]["latency_p95"]) < float(hi["latency_p95"]):
+        failures.append(
+            "overlay p95 at the top rate is not below the root-entry p95"
+        )
+    if float(ov[-1]["root_queue_max"]) >= float(hi["root_queue_max"]):
+        failures.append(
+            "overlay root queue at the top rate is not below root-entry's"
+        )
+    return failures

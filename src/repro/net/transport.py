@@ -13,14 +13,21 @@ protocol ``phase`` in the per-server metrics registry; when a
 :class:`~repro.telemetry.Telemetry` recorder is attached, sends, losses,
 drops and deliveries additionally emit structured events (deliveries as
 ``net.transit`` spans covering the in-flight interval).
+
+Nodes may additionally carry a :class:`ServiceConfig` — a single-server
+bounded FIFO queue in front of the handler — so that offered load turns
+into queueing delay and, past the queue bound, shed messages. This is
+the serving plane's contention model: without it (the default), message
+handling is instantaneous and concurrency is free.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.metrics import MetricsCollector
@@ -35,6 +42,118 @@ SUMMARY_FULL = "summary-full"
 SUMMARY_KEEPALIVE = "summary-keepalive"
 
 UPDATE_KINDS = (SUMMARY_FULL, SUMMARY_KEEPALIVE)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Server-side service model for one node (the serving plane).
+
+    Without a service model (the default everywhere) a delivered message
+    invokes its handler instantly — infinite capacity, the historical
+    behaviour. With one, the node is a single server with a bounded FIFO
+    queue: each inbound message occupies the server for ``service_time``
+    seconds before its handler runs, at most ``queue_limit`` further
+    messages wait, and overflow is **shed** — the terminal
+    ``on_dropped`` hook fires with reason ``"shed"`` and, when the
+    sender asked for notification (``on_rejected``), a small reject
+    notice of ``reject_bytes`` travels back so the sender can retry with
+    backoff. Saturation therefore shows up exactly as the paper's root
+    bottleneck predicts: queueing delay first, then shed load.
+    """
+
+    #: seconds of exclusive server time each inbound message costs
+    service_time: float = 0.001
+    #: messages allowed to wait behind the one in service (None = no cap)
+    queue_limit: Optional[int] = None
+    #: size of the reject notice returned when a message is shed
+    reject_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0:
+            raise ValueError(
+                f"service_time must be positive, got {self.service_time}"
+            )
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise ValueError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.reject_bytes < 0:
+            raise ValueError(
+                f"reject_bytes must be >= 0, got {self.reject_bytes}"
+            )
+
+
+class _ServiceQueue:
+    """Single-server FIFO queue in front of one node's message handler."""
+
+    __slots__ = (
+        "net", "node", "config", "waiting", "busy",
+        "served", "shed", "max_depth", "busy_seconds",
+    )
+
+    def __init__(self, net: "Network", node: int, config: ServiceConfig):
+        self.net = net
+        self.node = node
+        self.config = config
+        self.waiting: Deque[Tuple] = deque()
+        self.busy = False
+        self.served = 0
+        self.shed = 0
+        self.max_depth = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def depth(self) -> int:
+        """Messages in the system: waiting plus the one in service."""
+        return len(self.waiting) + (1 if self.busy else 0)
+
+    def offer(self, msg: Message, run, on_dropped) -> bool:
+        """Admit a delivered message (queue or serve) or shed it."""
+        cfg = self.config
+        if self.busy:
+            if (
+                cfg.queue_limit is not None
+                and len(self.waiting) >= cfg.queue_limit
+            ):
+                self.shed += 1
+                return False
+            self.waiting.append((msg, run, on_dropped, self.net.sim.now))
+        else:
+            self.busy = True
+            self.net.sim.schedule(
+                cfg.service_time, lambda: self._finish(msg, run, on_dropped)
+            )
+        depth = self.depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+        self.net.metrics.registry.observe(
+            "service.queue_depth", float(depth), server=self.node
+        )
+        return True
+
+    def _finish(self, msg: Message, run, on_dropped) -> None:
+        self.busy_seconds += self.config.service_time
+        if self.net.is_failed(self.node):
+            # The node died while the message was queued or in service.
+            self.net.dropped += 1
+            if on_dropped is not None:
+                on_dropped(msg, "receiver_failed")
+        else:
+            self.served += 1
+            run(msg)
+        if self.waiting:
+            nxt_msg, nxt_run, nxt_dropped, enqueued = self.waiting.popleft()
+            self.net.metrics.registry.observe(
+                "service.queue_delay",
+                self.net.sim.now - enqueued,
+                server=self.node,
+            )
+            self.net.sim.schedule(
+                self.config.service_time,
+                lambda: self._finish(nxt_msg, nxt_run, nxt_dropped),
+            )
+        else:
+            self.busy = False
 
 
 @dataclass(frozen=True)
@@ -103,8 +222,13 @@ class Network:
         # destination node's registered handler.
         self._kind_handlers: Dict[str, Callable[[Message], None]] = {}
         self._failed: Set[int] = set()
+        # Per-node server-side service queues (None entry = infinite
+        # capacity, the default); see :class:`ServiceConfig`.
+        self._service: Dict[int, _ServiceQueue] = {}
         self.dropped = 0
         self.lost = 0
+        #: messages shed by saturated service queues (all nodes)
+        self.shed = 0
         # Message ids are per-network so independently built systems are
         # reproducible (a module-level counter would leak state between
         # builds and break id-based assertions across test orderings).
@@ -143,6 +267,38 @@ class Network:
     def is_failed(self, node: int) -> bool:
         return node in self._failed
 
+    # -- server-side service model --------------------------------------------------
+    def set_service(self, node: int, config: Optional[ServiceConfig]) -> None:
+        """Install (or, with ``None``, remove) *node*'s service model.
+
+        Any queued messages of a previous model are discarded, so
+        configure servers before offering load.
+        """
+        if config is None:
+            self._service.pop(node, None)
+        else:
+            self._service[node] = _ServiceQueue(self, node, config)
+
+    def service_config(self, node: int) -> Optional[ServiceConfig]:
+        svc = self._service.get(node)
+        return svc.config if svc is not None else None
+
+    def service_stats(self, node: int) -> Dict[str, float]:
+        """Service-queue counters for *node* (zeros when unconfigured)."""
+        svc = self._service.get(node)
+        if svc is None:
+            return {
+                "served": 0.0, "shed": 0.0, "depth": 0.0,
+                "max_depth": 0.0, "busy_seconds": 0.0,
+            }
+        return {
+            "served": float(svc.served),
+            "shed": float(svc.shed),
+            "depth": float(svc.depth),
+            "max_depth": float(svc.max_depth),
+            "busy_seconds": svc.busy_seconds,
+        }
+
     # -- sending ----------------------------------------------------------------
     def latency(self, a: int, b: int) -> float:
         return self.delay_space.latency(a, b)
@@ -158,6 +314,7 @@ class Network:
         phase: str = "",
         kind: str = "",
         on_dropped: Optional[Callable[[Message, str], None]] = None,
+        on_rejected: Optional[Callable[[Message], None]] = None,
     ) -> Message:
         """Send a message; returns the :class:`Message` descriptor.
 
@@ -167,18 +324,24 @@ class Network:
         else the handler registered for the message *kind*, else the
         destination's registered handler. *on_dropped* is the terminal
         failure hook: it fires exactly once, with a reason of
-        ``"sender_failed"``, ``"lost"`` or ``"receiver_failed"``, when
-        the message will never reach a handler — protocol actors use it
-        to keep in-flight accounting exact under loss.
+        ``"sender_failed"``, ``"lost"``, ``"receiver_failed"`` or
+        ``"shed"``, when the message will never reach a handler —
+        protocol actors use it to keep in-flight accounting exact under
+        loss. *on_rejected* opts into explicit load-shed notification:
+        when the destination's service queue sheds the message, a reject
+        notice travels back and *on_rejected* fires at the sender one
+        one-way delay later (the notice itself is delivered reliably).
         """
         prof = self._profiler
         if prof is None:
             return self._send(src, dst, category, size_bytes, payload,
-                              on_delivery, phase, kind, on_dropped)
+                              on_delivery, phase, kind, on_dropped,
+                              on_rejected)
         t0 = perf_counter()
         try:
             return self._send(src, dst, category, size_bytes, payload,
-                              on_delivery, phase, kind, on_dropped)
+                              on_delivery, phase, kind, on_dropped,
+                              on_rejected)
         finally:
             prof.add("net.send", perf_counter() - t0)
 
@@ -193,6 +356,7 @@ class Network:
         phase: str = "",
         kind: str = "",
         on_dropped: Optional[Callable[[Message, str], None]] = None,
+        on_rejected: Optional[Callable[[Message], None]] = None,
     ) -> Message:
         msg = Message(src=src, dst=dst, category=category,
                       size_bytes=int(size_bytes), payload=payload,
@@ -246,16 +410,40 @@ class Network:
                 handler = self._kind_handlers.get(kind)
             if handler is None:
                 handler = self._handlers.get(msg.dst)
-            if handler is not None:
-                prof = self._profiler
-                if prof is None:
-                    handler(msg)
-                else:
-                    t0 = perf_counter()
-                    try:
-                        handler(msg)
-                    finally:
-                        prof.add("net.deliver", perf_counter() - t0)
+            if handler is None:
+                return
+            svc = self._service.get(msg.dst)
+            if svc is None:
+                self._invoke(handler, msg)
+                return
+            if svc.offer(msg, lambda m: self._invoke(handler, m), on_dropped):
+                return
+            # Shed: the service queue is full. Terminal for this message;
+            # a sender that asked for notification hears back explicitly.
+            self.shed += 1
+            if tel is not None:
+                tel.event("net.shed", src=src, dst=dst, category=category,
+                          phase=phase, depth=svc.depth)
+            if on_rejected is not None:
+                self.metrics.record_message(
+                    category, svc.config.reject_bytes,
+                    server=src, phase="reject",
+                )
+                back = self.delay_space.latency(dst, src) + self.processing_delay
+                self.sim.schedule(back, lambda: on_rejected(msg))
+            if on_dropped is not None:
+                on_dropped(msg, "shed")
 
         self.sim.schedule(delay, deliver)
         return msg
+
+    def _invoke(self, handler: Callable[[Message], None], msg: Message) -> None:
+        prof = self._profiler
+        if prof is None:
+            handler(msg)
+            return
+        t0 = perf_counter()
+        try:
+            handler(msg)
+        finally:
+            prof.add("net.deliver", perf_counter() - t0)

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..central.system import CentralSystem
 from ..query.query import Query
+from ..roads.search import SearchRequest
 from ..roads.system import RoadsSystem
 from ..sword.system import SwordSystem
 from .backend import BackendCostModel, RecordBackend
@@ -56,7 +57,9 @@ class RoadsResponder:
                 )
 
     def respond(self, query: Query, client_node: Optional[int] = None) -> ResponseOutcome:
-        outcome = self.system.execute_query(query, client_node=client_node)
+        outcome = self.system.search(
+            SearchRequest(query, client_node=client_node)
+        ).outcome
         client = outcome.client_node
         completion = 0.0
         worst_server = 0.0

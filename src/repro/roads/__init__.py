@@ -2,6 +2,7 @@
 
 from .client import OwnerHit, QueryExecution, QueryOutcome
 from .config import RoadsConfig
+from .load import LoadConfig, LoadGenerator, LoadReport
 from .policy import (
     AllowListPolicy,
     DenyAllPolicy,
@@ -11,6 +12,7 @@ from .policy import (
     SharingPolicy,
     TieredPolicy,
 )
+from .search import PendingSearch, RetryPolicy, SearchRequest, SearchResult
 from .system import GuestOwner, RoadsSystem, UpdateRoundReport
 
 __all__ = [
@@ -18,6 +20,13 @@ __all__ = [
     "RoadsConfig",
     "GuestOwner",
     "UpdateRoundReport",
+    "SearchRequest",
+    "SearchResult",
+    "PendingSearch",
+    "RetryPolicy",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
     "QueryExecution",
     "QueryOutcome",
     "OwnerHit",

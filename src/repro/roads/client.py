@@ -14,7 +14,7 @@ retrieval time is excluded here; the prototype benchmark adds it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..net.transport import Message, Network
 from ..query.query import Query
@@ -65,6 +65,10 @@ class QueryOutcome:
     query_messages: int = 0
     completed: bool = False
     timed_out_servers: Set[int] = field(default_factory=set)
+    #: servers that load-shed every attempt (client gave up after retries)
+    shed_servers: Set[int] = field(default_factory=set)
+    #: individual contact attempts rejected by a saturated server
+    rejections: int = 0
     #: optional structured event log (:class:`TraceEvent` entries)
     trace_events: List[TraceEvent] = field(default_factory=list)
 
@@ -128,9 +132,12 @@ class QueryExecution:
         collect_records: bool = False,
         timeout: float = 5.0,
         retries: int = 1,
+        backoff_base: float = 0.0,
+        backoff_factor: float = 2.0,
         first_k: Optional[int] = None,
         trace: bool = False,
         telemetry: Optional[Telemetry] = None,
+        on_complete: Optional[Callable[[QueryOutcome], None]] = None,
     ):
         self.sim = sim
         self.network = network
@@ -145,6 +152,14 @@ class QueryExecution:
         #: client gives up on that server (lossy networks lose single
         #: messages far more often than whole servers)
         self.retries = retries
+        #: wait before the first re-attempt; each further re-attempt
+        #: multiplies it by ``backoff_factor``. Zero (the default)
+        #: retries immediately — the historical behaviour.
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        #: invoked exactly once, with the outcome, when the query has
+        #: fully resolved — the serving plane's completion hook
+        self.on_complete = on_complete
         #: stop issuing new contacts once this many matches are in hand
         #: (best-effort early termination; in-flight contacts complete)
         self.first_k = first_k
@@ -203,6 +218,12 @@ class QueryExecution:
         self.outcome.query_bytes += size_bytes
         self.outcome.query_messages += 1
 
+    def _retry_delay(self, next_attempt: int) -> float:
+        """Exponential backoff before re-attempt *next_attempt* (>= 2)."""
+        if next_attempt <= 1 or self.backoff_base <= 0:
+            return 0.0
+        return self.backoff_base * self.backoff_factor ** (next_attempt - 2)
+
     def _contact(self, server_id: int, *, mode: str) -> None:
         if server_id in self._contacted:
             return
@@ -226,20 +247,45 @@ class QueryExecution:
                 payload=self.query,
                 on_delivery=lambda msg: self._at_server(server_id, mode, state),
                 phase="forward",
+                on_rejected=rejected,
             )
             state["timeout_event"] = self.sim.schedule(self.timeout, expire)
+
+        def retry_or_give_up(terminal: str) -> None:
+            if state["attempts"] <= self.retries:
+                self._trace("retry", f"server {server_id}")
+                delay = self._retry_delay(state["attempts"] + 1)
+                if delay > 0:
+                    self.sim.schedule(delay, lambda: (
+                        attempt() if not state["replied"] else None
+                    ))
+                else:
+                    attempt()
+                return
+            state["replied"] = True
+            if terminal == "shed":
+                self.outcome.shed_servers.add(server_id)
+            else:
+                self.outcome.timed_out_servers.add(server_id)
+            self._trace(terminal, f"server {server_id}")
+            self._finish_one()
 
         def expire() -> None:
             if state["replied"]:
                 return
-            if state["attempts"] <= self.retries:
-                self._trace("retry", f"server {server_id}")
-                attempt()
+            retry_or_give_up("timeout")
+
+        def rejected(msg: Message) -> None:
+            # The server load-shed this attempt and said so: back off and
+            # retry (the timeout timer for the dead attempt is cancelled).
+            if state["replied"]:
                 return
-            state["replied"] = True
-            self.outcome.timed_out_servers.add(server_id)
-            self._trace("timeout", f"server {server_id}")
-            self._finish_one()
+            self.outcome.rejections += 1
+            ev = state.get("timeout_event")
+            if ev is not None:
+                ev.cancel()
+            self._trace("rejected", f"server {server_id}")
+            retry_or_give_up("shed")
 
         attempt()
 
@@ -382,6 +428,8 @@ class QueryExecution:
         self._outstanding -= 1
         if self._outstanding == 0 and not self._done:
             self._done = True
-            # Completed means the fan-out fully resolved; timed-out servers
-            # (failures) are reported separately on the outcome.
+            # Completed means the fan-out fully resolved; timed-out and
+            # shed servers are reported separately on the outcome.
             self.outcome.completed = True
+            if self.on_complete is not None:
+                self.on_complete(self.outcome)

@@ -5,25 +5,26 @@ space and network, the federated hierarchy, bottom-up aggregation, the
 replication overlay, per-owner sharing policies, and client-driven query
 execution. This is the library's primary entry point::
 
-    from repro.roads import RoadsSystem, RoadsConfig
+    from repro.roads import RoadsSystem, RoadsConfig, SearchRequest
     from repro.workload import WorkloadConfig, generate_node_stores
 
     cfg = RoadsConfig(num_nodes=64, records_per_node=100)
     stores = generate_node_stores(WorkloadConfig(num_nodes=64, records_per_node=100))
     system = RoadsSystem.build(cfg, stores)
-    outcome = system.execute_query(query)
+    result = system.search(SearchRequest(query))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..net.coordinates import DelaySpace
-from ..net.transport import Network
+from ..net.transport import Network, ServiceConfig
 from ..query.query import Query
 from ..records.store import RecordStore
 from ..sim.engine import Simulator
@@ -36,6 +37,7 @@ from ..overlay.replication import ReplicationOverlay
 from ..telemetry.core import Telemetry
 from .client import QueryExecution, QueryOutcome
 from .config import RoadsConfig
+from .search import PendingSearch, SearchRequest, SearchResult
 from .policy import PolicyTable, SharingPolicy
 from .update_plane import UpdatePlane, UpdateRoundReport
 
@@ -272,78 +274,86 @@ class RoadsSystem:
         epochs = max(1, int(round(window_seconds / self.config.summary_interval)))
         return self.update_bytes_per_epoch() * epochs
 
-    # -- queries ----------------------------------------------------------------
-    def execute_query(
-        self,
-        query: Query,
-        *,
-        start_server: Optional[int] = None,
-        client_node: Optional[int] = None,
-        collect_records: bool = False,
-        use_overlay: bool = True,
-        scope: Optional[int] = None,
-        first_k: Optional[int] = None,
-        trace: bool = False,
-    ) -> QueryOutcome:
-        """Run one query to completion and return its outcome.
+    # -- the serving plane -------------------------------------------------------
+    def _resolve_entry(self, request: SearchRequest) -> tuple:
+        """(client node, entry server) for one request.
 
-        With the replication overlay (default) the search starts at the
-        client's own node; without it (``use_overlay=False``, the basic
-        hierarchy of Section III-A) every query must start at the root.
-
-        *scope* restricts the search to the subtree of the given server
-        (Section III-C's scope control: a client widens its search one
-        ancestor at a time instead of always searching the federation).
-        A scoped query enters the scope server in descent mode, so only
-        its branch is searched.
-
-        *first_k* stops fanning out once that many matching records are
-        in hand — a best-effort "find me k matches" mode that trades
-        completeness for fewer contacted servers.
+        A missing client is drawn uniformly (the evaluation's default).
+        With the replication overlay the search starts at the client's
+        own node; without it every query must start at the root. A
+        *scope* enters at the scope server; an explicit *start_server*
+        forces the entry (consistency with *scope* was already checked
+        by :class:`SearchRequest`).
         """
-        if client_node is None:
-            client_node = int(self._rng.integers(0, len(self.hierarchy)))
-        if scope is not None:
-            start_server = scope
-        elif start_server is None:
-            start_server = (
-                client_node if use_overlay else self.hierarchy.root.server_id
+        client = request.client_node
+        if client is None:
+            client = int(self._rng.integers(0, len(self.hierarchy)))
+        if request.scope is not None:
+            start = request.scope
+        elif request.start_server is not None:
+            start = request.start_server
+        else:
+            start = (
+                client
+                if request.use_overlay
+                else self.hierarchy.root.server_id
             )
-        execution = QueryExecution(
+        return client, start
+
+    def _make_execution(
+        self,
+        request: SearchRequest,
+        client: int,
+        start: int,
+        on_complete=None,
+    ) -> QueryExecution:
+        return QueryExecution(
             self.sim,
             self.network,
             self.hierarchy,
             self.config.summary,
             self.policies,
-            query,
-            client_node,
-            start_server,
-            collect_records=collect_records,
-            first_k=first_k,
-            trace=trace,
+            request.query,
+            client,
+            start,
+            collect_records=request.collect_records,
+            timeout=request.retry.timeout,
+            retries=request.retry.retries,
+            backoff_base=request.retry.backoff_base,
+            backoff_factor=request.retry.backoff_factor,
+            first_k=request.first_k,
+            trace=request.trace,
             telemetry=self.telemetry,
+            on_complete=on_complete,
         )
+
+    def search(self, request: SearchRequest) -> SearchResult:
+        """Run one request to completion; the canonical query entry point.
+
+        Drives the shared simulator until the query fully resolves
+        (other in-flight activity — update plane, heartbeats — runs
+        interleaved). For many concurrent queries use :meth:`submit` or
+        :meth:`search_many` with arrival offsets.
+        """
+        client, start = self._resolve_entry(request)
+        execution = self._make_execution(request, client, start)
         tel = self.telemetry
         prof = tel.profiler if tel is not None else None
         wall_t0 = perf_counter() if prof is not None else 0.0
         span = (
             tel.span(
                 "query.execute",
-                client=client_node,
-                start=start_server,
-                overlay=use_overlay,
-                scope=scope,
+                client=client,
+                start=start,
+                overlay=request.use_overlay,
+                scope=request.scope,
             )
             if tel is not None
             else None
         )
+        submitted = self.sim.now
         try:
-            # Descent-only entry (scoped search, or the basic hierarchy
-            # without the overlay) stays inside the start server's branch.
-            mode = (
-                "descent" if scope is not None or not use_overlay else "start"
-            )
-            outcome = execution.run(mode=mode)
+            outcome = execution.run(mode=request.entry_mode)
         except BaseException:
             if span is not None:
                 span.close()
@@ -357,9 +367,186 @@ class RoadsSystem:
         if prof is not None:
             prof.add("query.execute", perf_counter() - wall_t0)
         self.metrics.registry.observe(
-            "query.latency", outcome.latency, server=start_server
+            "query.latency", outcome.latency, server=start
         )
-        return outcome
+        return SearchResult(
+            request=request,
+            outcome=outcome,
+            submitted_at=submitted,
+            finished_at=self.sim.now,
+        )
+
+    def submit(
+        self,
+        request: SearchRequest,
+        *,
+        on_complete=None,
+    ) -> PendingSearch:
+        """Start a query **without** driving the simulator (non-blocking).
+
+        The serving-plane primitive: the first contact goes out now, and
+        the query resolves as the shared dispatcher is driven — by a
+        surrounding :meth:`search_many`, a
+        :class:`~repro.roads.load.LoadGenerator`, or a manual
+        ``sim.step()`` loop — interleaved with every other in-flight
+        query, the free-running update plane and maintenance traffic.
+        *on_complete* (if given) fires with the :class:`SearchResult`
+        the moment the query fully resolves.
+        """
+        client, start = self._resolve_entry(request)
+        pending = PendingSearch(request=request)
+        submitted = self.sim.now
+
+        def finish(outcome: QueryOutcome) -> None:
+            result = SearchResult(
+                request=request,
+                outcome=outcome,
+                submitted_at=submitted,
+                finished_at=self.sim.now,
+            )
+            pending.result = result
+            self.metrics.registry.observe(
+                "query.latency", outcome.latency, server=start
+            )
+            if self.telemetry is not None:
+                self.telemetry.emit_span(
+                    "query.execute", submitted, self.sim.now,
+                    client=client, start=start,
+                    overlay=request.use_overlay, scope=request.scope,
+                    servers=outcome.servers_contacted,
+                    matches=outcome.total_matches,
+                    shed=len(outcome.shed_servers),
+                )
+            if on_complete is not None:
+                on_complete(result)
+
+        execution = self._make_execution(
+            request, client, start, on_complete=finish
+        )
+        pending.execution = execution
+        execution.start(mode=request.entry_mode)
+        return pending
+
+    def search_many(
+        self,
+        requests: Sequence[SearchRequest],
+        *,
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> List[SearchResult]:
+        """Serve a batch of requests; results in request order.
+
+        Without *arrivals*, requests run back-to-back (each drained to
+        completion before the next starts — the legacy sequential
+        semantics, bit-identical to the old ``execute_queries``). With
+        *arrivals* — per-request submission offsets in seconds from now
+        — all queries are multiplexed concurrently over the shared
+        dispatcher and the simulator is driven until every one resolves.
+        """
+        requests = list(requests)
+        if arrivals is None:
+            return [self.search(r) for r in requests]
+        offsets = [float(a) for a in arrivals]
+        if len(offsets) != len(requests):
+            raise ValueError(
+                f"{len(requests)} requests but {len(offsets)} arrivals"
+            )
+        pendings: List[Optional[PendingSearch]] = [None] * len(requests)
+        for i, (req, at) in enumerate(zip(requests, offsets)):
+            def launch(i=i, req=req) -> None:
+                pendings[i] = self.submit(req)
+
+            self.sim.schedule(at, launch)
+        while (
+            any(p is None or not p.done for p in pendings) and self.sim.step()
+        ):
+            pass
+        return [p.result for p in pendings]
+
+    def widening(
+        self, request: SearchRequest, *, min_matches: int = 1
+    ) -> List[SearchResult]:
+        """Scope-controlled search: own branch first, then each ancestor.
+
+        Every scope reuses the request's client (one user widening one
+        search, Section III-C). Returns the results of every scope
+        tried, stopping at the first with at least *min_matches* matches
+        (the last result is the successful one, or the widest scope if
+        none sufficed).
+        """
+        from ..overlay.routing import scope_candidates
+
+        if request.client_node is None:
+            raise ValueError(
+                "widening requires an explicit client_node: every scope "
+                "of one widening search is issued by the same client"
+            )
+        start = self.hierarchy.get(request.client_node)
+        scopes = [request.client_node] + scope_candidates(start)
+        results: List[SearchResult] = []
+        for scope in scopes:
+            results.append(
+                self.search(replace(request, scope=scope, start_server=None))
+            )
+            if results[-1].outcome.total_matches >= min_matches:
+                break
+        return results
+
+    def enable_service(
+        self,
+        config: ServiceConfig,
+        *,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Install the server-side service model on every server.
+
+        Gives each server (or just *nodes*) a single-server bounded
+        queue per :class:`~repro.net.transport.ServiceConfig`, so
+        offered load turns into queueing delay and shed messages — the
+        contention the root-bottleneck experiments measure.
+        """
+        ids = (
+            list(nodes)
+            if nodes is not None
+            else [s.server_id for s in self.hierarchy]
+        )
+        for sid in ids:
+            self.network.set_service(sid, config)
+
+    # -- deprecated query shims --------------------------------------------------
+    def execute_query(
+        self,
+        query: Query,
+        *,
+        start_server: Optional[int] = None,
+        client_node: Optional[int] = None,
+        collect_records: bool = False,
+        use_overlay: bool = True,
+        scope: Optional[int] = None,
+        first_k: Optional[int] = None,
+        trace: bool = False,
+    ) -> QueryOutcome:
+        """Deprecated: use :meth:`search` with a :class:`SearchRequest`.
+
+        Kwargs map 1:1 onto the request; same seed, same outcome.
+        """
+        warnings.warn(
+            "RoadsSystem.execute_query is deprecated; use "
+            "RoadsSystem.search(SearchRequest(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.search(
+            SearchRequest(
+                query,
+                client_node=client_node,
+                scope=scope,
+                start_server=start_server,
+                first_k=first_k,
+                use_overlay=use_overlay,
+                collect_records=collect_records,
+                trace=trace,
+            )
+        ).outcome
 
     def widening_search(
         self,
@@ -369,28 +556,22 @@ class RoadsSystem:
         min_matches: int = 1,
         collect_records: bool = False,
     ) -> List[QueryOutcome]:
-        """Scope-controlled search: own branch first, then each ancestor.
-
-        Returns the outcomes of every scope tried, stopping at the first
-        that yields at least *min_matches* results (the last outcome is
-        the successful one, or the widest scope if none sufficed).
-        """
-        from ..overlay.routing import scope_candidates
-
-        start = self.hierarchy.get(client_node)
-        scopes = [client_node] + scope_candidates(start)
-        outcomes: List[QueryOutcome] = []
-        for scope in scopes:
-            outcome = self.execute_query(
+        """Deprecated: use :meth:`widening` with a :class:`SearchRequest`."""
+        warnings.warn(
+            "RoadsSystem.widening_search is deprecated; use "
+            "RoadsSystem.widening(SearchRequest(...), min_matches=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        results = self.widening(
+            SearchRequest(
                 query,
                 client_node=client_node,
-                scope=scope,
                 collect_records=collect_records,
-            )
-            outcomes.append(outcome)
-            if outcome.total_matches >= min_matches:
-                break
-        return outcomes
+            ),
+            min_matches=min_matches,
+        )
+        return [r.outcome for r in results]
 
     def execute_queries(
         self,
@@ -400,18 +581,25 @@ class RoadsSystem:
         collect_records: bool = False,
         use_overlay: bool = True,
     ) -> List[QueryOutcome]:
-        outcomes = []
-        for i, q in enumerate(queries):
-            client = client_nodes[i] if client_nodes is not None else None
-            outcomes.append(
-                self.execute_query(
-                    q,
-                    client_node=client,
-                    collect_records=collect_records,
-                    use_overlay=use_overlay,
-                )
+        """Deprecated: use :meth:`search_many` with :class:`SearchRequest`\\ s."""
+        warnings.warn(
+            "RoadsSystem.execute_queries is deprecated; use "
+            "RoadsSystem.search_many([SearchRequest(...), ...])",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        requests = [
+            SearchRequest(
+                q,
+                client_node=(
+                    int(client_nodes[i]) if client_nodes is not None else None
+                ),
+                collect_records=collect_records,
+                use_overlay=use_overlay,
             )
-        return outcomes
+            for i, q in enumerate(queries)
+        ]
+        return [r.outcome for r in self.search_many(requests)]
 
     # -- maintenance ----------------------------------------------------------------
     def enable_maintenance(

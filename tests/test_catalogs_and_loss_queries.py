@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.query import EqualsPredicate, Query, RangePredicate
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     compute_org_inventory,
@@ -92,7 +92,7 @@ class TestQueriesOverLossyNetwork:
         reference = merge_stores(stores)
         complete, lossy = 0, 0
         for q in generate_queries(wcfg, num_queries=12, dimensions=2):
-            o = system.execute_query(q, client_node=0)
+            o = system.search(SearchRequest(q, client_node=0)).outcome
             assert o.completed
             assert o.total_matches <= q.match_count(reference)
             if o.timed_out_servers:
@@ -112,6 +112,6 @@ class TestQueriesOverLossyNetwork:
         )
         reference = merge_stores(stores)
         for q in generate_queries(wcfg, num_queries=6, dimensions=2):
-            o = system.execute_query(q, client_node=0)
+            o = system.search(SearchRequest(q, client_node=0)).outcome
             assert o.total_matches == q.match_count(reference)
             assert not o.timed_out_servers

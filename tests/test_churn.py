@@ -5,7 +5,7 @@ import pytest
 
 from repro.hierarchy import MaintenanceConfig
 from repro.hierarchy.churn import ChurnConfig, ChurnProcess
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     WorkloadConfig,
@@ -86,7 +86,7 @@ class TestSustainedChurn:
             system.sim.run(until=system.sim.now + 150.0)
             alive_ids = sorted(s.server_id for s in system.hierarchy if s.alive)
             for q in queries:
-                o = system.execute_query(q, client_node=alive_ids[0])
+                o = system.search(SearchRequest(q, client_node=alive_ids[0])).outcome
                 assert o.completed
                 assert o.total_matches <= q.match_count(everything)
 
@@ -113,7 +113,7 @@ class TestSustainedChurn:
         alive_ids = sorted(s.server_id for s in system.hierarchy if s.alive)
         reference = merge_stores([stores[i] for i in alive_ids])
         for q in queries:
-            o = system.execute_query(q, client_node=alive_ids[0])
+            o = system.search(SearchRequest(q, client_node=alive_ids[0])).outcome
             assert o.total_matches == q.match_count(reference)
 
     def test_availability_accounting(self):

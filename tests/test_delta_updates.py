@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.hierarchy import aggregate_round
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import WorkloadConfig, generate_node_stores, generate_queries, merge_stores
 
@@ -122,7 +122,7 @@ class TestChangePropagation:
             )
             system.refresh()
             outcomes[delta] = [
-                system.execute_query(q, client_node=0).total_matches
+                system.search(SearchRequest(q, client_node=0)).outcome.total_matches
                 for q in queries
             ]
         assert outcomes[False] == outcomes[True]
@@ -173,7 +173,7 @@ class TestDeltaUnderTopologyChange:
         reference = merge_stores(stores)
         queries = generate_queries(wcfg, num_queries=5, dimensions=2)
         for q in queries:
-            o = system.execute_query(q, client_node=0)
+            o = system.search(SearchRequest(q, client_node=0)).outcome
             assert o.total_matches == q.match_count(reference)
 
     def test_delta_system_survives_failure_and_heal(self):
@@ -201,5 +201,5 @@ class TestDeltaUnderTopologyChange:
         reference = merge_stores([stores[i] for i in alive_ids])
         queries = generate_queries(wcfg, num_queries=5, dimensions=2)
         for q in queries:
-            o = system.execute_query(q, client_node=alive_ids[0])
+            o = system.search(SearchRequest(q, client_node=alive_ids[0])).outcome
             assert o.total_matches == q.match_count(reference)

@@ -4,7 +4,7 @@ dynamics + aggregation + delta-propagation loop."""
 import numpy as np
 import pytest
 
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.sim import Simulator
 from repro.summaries import SummaryConfig
 from repro.workload import (
@@ -107,7 +107,7 @@ class TestDynamicFederation:
             system.refresh()  # one t_s epoch
             reference = merge_stores(stores)
             for q in queries:
-                o = system.execute_query(q, client_node=0)
+                o = system.search(SearchRequest(q, client_node=0)).outcome
                 assert o.total_matches == q.match_count(reference)
             dyn.resume()
 

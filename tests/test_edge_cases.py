@@ -14,7 +14,7 @@ from repro.net import DelaySpace, Network
 from repro.overlay import decide_local
 from repro.query import Query, RangePredicate
 from repro.records import RecordStore, Schema, numeric
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.roads.client import QueryExecution
 from repro.sim import MetricsCollector, Simulator
 from repro.summaries import ResourceSummary, SummaryConfig
@@ -39,7 +39,7 @@ class TestQueryTimeoutPath:
         system.network.fail_node(victim.server_id)
         victim.alive = False
         q = Query.of(RangePredicate("u0", 0.0, 1.0))
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         assert outcome.completed
         assert victim.server_id in outcome.timed_out_servers
         # The rest of the federation still answered.
@@ -59,7 +59,7 @@ class TestQueryTimeoutPath:
         system.network.fail_node(leaf.server_id)
         leaf.alive = False
         q = Query.of(RangePredicate("u0", 0.0, 1.0))
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         assert outcome.latency < 5.0  # well under the 5 s timeout
 
 
@@ -175,4 +175,4 @@ class TestGeneratorEdges:
             stores,
         )
         q = Query.of(RangePredicate("u0", 0, 1))
-        assert system.execute_query(q, client_node=0).total_matches == 0
+        assert system.search(SearchRequest(q, client_node=0)).outcome.total_matches == 0

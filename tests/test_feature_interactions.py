@@ -17,6 +17,7 @@ from repro.roads import (
     GuestOwner,
     RoadsConfig,
     RoadsSystem,
+    SearchRequest,
     TieredPolicy,
 )
 from repro.summaries import SummaryConfig
@@ -73,7 +74,7 @@ class TestGuestsWithDelta:
         assert report.aggregation.full_reports >= 1
         # And the guest's new value is discoverable.
         q = Query.of(RangePredicate("u0", 0.94, 0.96))
-        o = system.execute_query(q, client_node=0)
+        o = system.search(SearchRequest(q, client_node=0)).outcome
         assert any(h.owner_id == "g" for h in o.owner_hits)
 
 
@@ -87,11 +88,9 @@ class TestGuestsWithScope:
         attach_server = system.hierarchy.get(3)
         q = Query.of(RangePredicate("u0", 0.45, 0.55))
         # Scope = the attachment server's subtree root: guest visible.
-        scoped_in = system.execute_query(
-            q, client_node=0, scope=attach_server.root_path[1]
+        scoped_in = system.search(SearchRequest(q, client_node=0, scope=attach_server.root_path[1]
             if len(attach_server.root_path) > 1
-            else attach_server.server_id,
-        )
+            else attach_server.server_id)).outcome
         in_branch = any(h.owner_id == "g" for h in scoped_in.owner_hits)
         # Scope = a sibling branch: guest invisible.
         root = system.hierarchy.root
@@ -101,7 +100,7 @@ class TestGuestsWithScope:
             if attach_server.server_id not in
             [s.server_id for s in c.iter_subtree()]
         )
-        scoped_out = system.execute_query(q, client_node=0, scope=other_branch)
+        scoped_out = system.search(SearchRequest(q, client_node=0, scope=other_branch)).outcome
         out_branch = any(h.owner_id == "g" for h in scoped_out.owner_hits)
         assert in_branch and not out_branch
 
@@ -121,7 +120,7 @@ class TestFirstKWithPolicies:
         top = max(per_owner, key=lambda t: t[1])[0]
         system.set_policy(f"owner-{top}", DenyAllPolicy())
         k = 5
-        o = system.execute_query(q, client_node=0, first_k=k)
+        o = system.search(SearchRequest(q, client_node=0, first_k=k)).outcome
         assert o.total_matches >= k
         denied = [h for h in o.owner_hits if h.owner_id == f"owner-{top}"]
         for h in denied:
@@ -137,12 +136,8 @@ class TestTieredPolicyWithTrace:
                 TieredPolicy(partners=frozenset({"friend"}), public_limit=1),
             )
         q = Query.of(RangePredicate("u0", 0.0, 1.0))
-        pub = system.execute_query(
-            q.with_requester("stranger"), client_node=0, trace=True
-        )
-        friend = system.execute_query(
-            q.with_requester("friend"), client_node=0
-        )
+        pub = system.search(SearchRequest(q.with_requester("stranger"), client_node=0, trace=True)).outcome
+        friend = system.search(SearchRequest(q.with_requester("friend"), client_node=0)).outcome
         assert pub.total_matches == N  # one record per owner
         assert friend.total_matches == sum(len(s) for s in stores)
         owner_events = [e for e in pub.trace if e[1] == "owner"]
@@ -177,11 +172,9 @@ class TestChurnWithGuests:
             assert system.reattach_orphaned_guests() == 1
             system.refresh()
             q = Query.of(RangePredicate("u0", 0.45, 0.55))
-            o = system.execute_query(
-                q, client_node=next(
+            o = system.search(SearchRequest(q, client_node=next(
                     s.server_id for s in system.hierarchy if s.alive
-                ),
-            )
+                ))).outcome
             assert any(h.owner_id == "g" for h in o.owner_hits)
 
 
@@ -194,7 +187,7 @@ class TestWideningWithFirstK:
             key=lambda q: q.match_count(reference),
         )
         leaf = max(system.hierarchy, key=lambda s: s.depth)
-        outcomes = system.widening_search(q, leaf.server_id, min_matches=3)
+        outcomes = [r.outcome for r in system.widening(SearchRequest(q, client_node=leaf.server_id), min_matches=3)]
         assert outcomes[-1].total_matches >= 3 or (
             outcomes[-1].total_matches == q.match_count(reference)
         )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     WorkloadConfig,
@@ -38,22 +38,20 @@ class TestFirstK:
     def test_reaches_requested_count(self, system_and_query):
         system, query, reference = system_and_query
         k = 10
-        outcome = system.execute_query(query, client_node=0, first_k=k)
+        outcome = system.search(SearchRequest(query, client_node=0, first_k=k)).outcome
         assert outcome.completed
         assert outcome.total_matches >= k
 
     def test_contacts_fewer_servers_than_full(self, system_and_query):
         system, query, _ = system_and_query
-        full = system.execute_query(query, client_node=0)
-        partial = system.execute_query(query, client_node=0, first_k=5)
+        full = system.search(SearchRequest(query, client_node=0)).outcome
+        partial = system.search(SearchRequest(query, client_node=0, first_k=5)).outcome
         assert partial.servers_contacted <= full.servers_contacted
         assert partial.query_bytes <= full.query_bytes
 
     def test_results_are_subset_of_truth(self, system_and_query):
         system, query, reference = system_and_query
-        outcome = system.execute_query(
-            query, client_node=0, first_k=8, collect_records=True
-        )
+        outcome = system.search(SearchRequest(query, client_node=0, first_k=8, collect_records=True)).outcome
         got = outcome.matched_records()
         assert got is not None
         # Every returned record genuinely matches.
@@ -63,16 +61,14 @@ class TestFirstK:
     def test_unreachable_k_degrades_to_full_search(self, system_and_query):
         system, query, reference = system_and_query
         truth = query.match_count(reference)
-        outcome = system.execute_query(
-            query, client_node=0, first_k=truth * 10
-        )
+        outcome = system.search(SearchRequest(query, client_node=0, first_k=truth * 10)).outcome
         # Cannot satisfy: behaves as the complete search.
         assert outcome.total_matches == truth
 
     def test_first_k_one_touches_minimum(self, system_and_query):
         system, query, _ = system_and_query
-        outcome = system.execute_query(query, client_node=0, first_k=1)
+        outcome = system.search(SearchRequest(query, client_node=0, first_k=1)).outcome
         assert outcome.total_matches >= 1
         # The search collapsed early: a small handful of servers.
-        full = system.execute_query(query, client_node=0)
+        full = system.search(SearchRequest(query, client_node=0)).outcome
         assert outcome.servers_contacted < max(3, full.servers_contacted)

@@ -11,7 +11,7 @@ import pytest
 
 from repro.hierarchy import MaintenanceConfig
 from repro.hierarchy.churn import ChurnConfig, ChurnProcess
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     DynamicsConfig,
@@ -101,7 +101,7 @@ class TestSoak:
         reference = merge_stores([stores[i] for i in alive_ids])
         queries = generate_queries(wcfg, num_queries=8, dimensions=2)
         for q in queries:
-            o = system.execute_query(q, client_node=alive_ids[0])
+            o = system.search(SearchRequest(q, client_node=alive_ids[0])).outcome
             assert o.completed
             assert o.total_matches == q.match_count(reference)
 

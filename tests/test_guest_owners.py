@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.query import Query, RangePredicate
-from repro.roads import DenyAllPolicy, GuestOwner, RoadsConfig, RoadsSystem
+from repro.roads import DenyAllPolicy, GuestOwner, RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     WorkloadConfig,
@@ -83,14 +83,14 @@ class TestDiscovery:
     def test_guest_records_discoverable(self, setup):
         _, stores, guest_store, system = setup
         q = self.query()
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         want = q.match_count(merge_stores(stores)) + q.match_count(guest_store)
         assert outcome.total_matches == want
         assert any(h.owner_id == "guest-co" for h in outcome.owner_hits)
 
     def test_query_travels_to_guest_node(self, setup):
         _, _, _, system = setup
-        outcome = system.execute_query(self.query(), client_node=0)
+        outcome = system.search(SearchRequest(self.query(), client_node=0)).outcome
         assert N in outcome.arrivals  # the guest's own node was contacted
         # The guest hit is recorded at the guest node, after the server.
         hit = next(h for h in outcome.owner_hits if h.owner_id == "guest-co")
@@ -100,14 +100,14 @@ class TestDiscovery:
     def test_extra_hop_costs_latency(self, setup):
         """The guest leg adds client->guest latency to the completion."""
         _, _, _, system = setup
-        outcome = system.execute_query(self.query(), client_node=0)
+        outcome = system.search(SearchRequest(self.query(), client_node=0)).outcome
         # The guest arrival is strictly after the query start.
         assert outcome.arrivals[N] > outcome.started_at
 
     def test_non_matching_query_skips_guest(self, setup):
         _, _, _, system = setup
         q = Query.of(RangePredicate("u0", 0.95, 0.99))
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         assert not any(h.owner_id == "guest-co" for h in outcome.owner_hits)
         assert N not in outcome.arrivals
 
@@ -117,7 +117,7 @@ class TestGuestPolicy:
         _, _, guest_store, system = setup
         system.set_policy("guest-co", DenyAllPolicy())
         q = Query.of(RangePredicate("u0", 0.46, 0.54))
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         guest_hits = [h for h in outcome.owner_hits if h.owner_id == "guest-co"]
         # Still discovered and contacted, but the owner returns nothing:
         # voluntary sharing retains final control at the owner.

@@ -18,6 +18,7 @@ from repro.experiments import (
     trial_queries,
 )
 from repro.workload import merge_stores
+from repro.roads import SearchRequest
 
 SETTINGS = ExperimentSettings(
     num_nodes=64, records_per_node=300, num_queries=40, runs=1, seed=13
@@ -50,7 +51,7 @@ class TestCrossSystemAgreement:
         ref = systems["reference"]
         for q, c in zip(systems["queries"], systems["clients"]):
             want = q.match_count(ref)
-            r = systems["roads"].execute_query(q, client_node=int(c))
+            r = systems["roads"].search(SearchRequest(q, client_node=int(c))).outcome
             s = systems["sword"].execute_query(q, int(c))
             ce = systems["central"].execute_query(q, int(c))
             assert r.total_matches == want, f"ROADS wrong on {q}"
@@ -75,7 +76,7 @@ class TestComparativeShapes:
         roads_bytes, sword_bytes = [], []
         for q, c in zip(systems["queries"][:25], systems["clients"][:25]):
             roads_bytes.append(
-                systems["roads"].execute_query(q, client_node=int(c)).query_bytes
+                systems["roads"].search(SearchRequest(q, client_node=int(c))).outcome.query_bytes
             )
             sword_bytes.append(systems["sword"].execute_query(q, int(c)).query_bytes)
         assert np.mean(roads_bytes) > np.mean(sword_bytes)
@@ -84,7 +85,7 @@ class TestComparativeShapes:
         roads_lat, sword_lat = [], []
         for q, c in zip(systems["queries"][:25], systems["clients"][:25]):
             roads_lat.append(
-                systems["roads"].execute_query(q, client_node=int(c)).latency
+                systems["roads"].search(SearchRequest(q, client_node=int(c))).outcome.latency
             )
             sword_lat.append(systems["sword"].execute_query(q, int(c)).latency)
         assert np.mean(roads_lat) < np.mean(sword_lat)
@@ -114,8 +115,8 @@ class TestOverlayBenefit:
         root_id = roads.hierarchy.root.server_id
         hit_root_with, hit_root_without = 0, 0
         for q, c in zip(systems["queries"][:20], systems["clients"][:20]):
-            o1 = roads.execute_query(q, client_node=int(c), use_overlay=True)
-            o2 = roads.execute_query(q, client_node=int(c), use_overlay=False)
+            o1 = roads.search(SearchRequest(q, client_node=int(c), use_overlay=True)).outcome
+            o2 = roads.search(SearchRequest(q, client_node=int(c), use_overlay=False)).outcome
             hit_root_with += int(root_id in o1.arrivals)
             hit_root_without += int(root_id in o2.arrivals)
         assert hit_root_without == 20
@@ -124,6 +125,6 @@ class TestOverlayBenefit:
     def test_overlay_results_match_root_start(self, systems):
         roads = systems["roads"]
         for q, c in zip(systems["queries"][:15], systems["clients"][:15]):
-            a = roads.execute_query(q, client_node=int(c), use_overlay=True)
-            b = roads.execute_query(q, client_node=int(c), use_overlay=False)
+            a = roads.search(SearchRequest(q, client_node=int(c), use_overlay=True)).outcome
+            b = roads.search(SearchRequest(q, client_node=int(c), use_overlay=False)).outcome
             assert a.total_matches == b.total_matches

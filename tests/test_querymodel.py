@@ -14,7 +14,7 @@ from repro.analysis.querymodel import (
     measured_dimension_probabilities,
     subtree_sizes,
 )
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import ResourceSummary, SummaryConfig
 from repro.workload import WorkloadConfig, generate_node_stores, generate_queries
 
@@ -93,7 +93,7 @@ class TestValidationAgainstSimulation:
         ]
         dim_probs = measured_dimension_probabilities(summaries, queries)
         contacts = [
-            system.execute_query(q, client_node=0).servers_contacted
+            system.search(SearchRequest(q, client_node=0)).outcome.servers_contacted
             for q in queries
         ]
         return n, dim_probs, float(np.mean(contacts)), queries

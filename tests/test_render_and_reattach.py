@@ -7,7 +7,7 @@ from repro.hierarchy import MaintenanceConfig, Server, build_hierarchy
 from repro.hierarchy.render import default_label, render_tree, tree_stats
 from repro.query import Query, RangePredicate
 from repro.records import RecordStore
-from repro.roads import GuestOwner, RoadsConfig, RoadsSystem
+from repro.roads import GuestOwner, RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import WorkloadConfig, generate_node_stores, make_schema
 
@@ -100,7 +100,7 @@ class TestGuestReattachment:
         proto = system.enable_maintenance(
             MaintenanceConfig(heartbeat_interval=2.0, miss_threshold=3)
         )
-        before = system.execute_query(self.query(), client_node=0)
+        before = system.search(SearchRequest(self.query(), client_node=0)).outcome
         assert any(h.owner_id == "g" for h in before.owner_hits)
 
         proto.fail(system.hierarchy.get(leaf_id))
@@ -112,7 +112,7 @@ class TestGuestReattachment:
         assert system.hierarchy.get(new_sid).alive
         system.refresh()
 
-        after = system.execute_query(self.query(), client_node=0)
+        after = system.search(SearchRequest(self.query(), client_node=0)).outcome
         guest_hits = [h for h in after.owner_hits if h.owner_id == "g"]
         assert guest_hits and guest_hits[0].match_count == self.query().match_count(guest_store)
 
@@ -155,6 +155,6 @@ class TestMultipleOwnersPerServer:
         )
         assert len(system.hierarchy.get(2).owners) == 3
         q = Query.of(RangePredicate("u0", 0.0, 1.0))
-        outcome = system.execute_query(q, client_node=0)
+        outcome = system.search(SearchRequest(q, client_node=0)).outcome
         total = sum(len(s) for s in stores) + 65
         assert outcome.total_matches == total

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.query import Query, RangePredicate
-from repro.roads import DenyAllPolicy, RoadsConfig, RoadsSystem
+from repro.roads import DenyAllPolicy, RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import (
     WorkloadConfig,
@@ -60,7 +60,7 @@ class TestQueryCompleteness:
         _, stores = small_workload
         reference = merge_stores(stores)
         for q in small_queries[:15]:
-            outcome = small_roads.execute_query(q)
+            outcome = small_roads.search(SearchRequest(q)).outcome
             assert outcome.completed
             assert outcome.total_matches == q.match_count(reference)
 
@@ -71,7 +71,7 @@ class TestQueryCompleteness:
         q = max(candidates, key=lambda q: q.match_count(reference))
         want = q.match_count(reference)
         assert want > 0
-        outcome = small_roads.execute_query(q, collect_records=True)
+        outcome = small_roads.search(SearchRequest(q, collect_records=True)).outcome
         got = outcome.matched_records()
         assert got is not None and len(got) == want
 
@@ -79,36 +79,34 @@ class TestQueryCompleteness:
         """Overlay invariant: results identical from any start server."""
         q = small_queries[0]
         counts = {
-            small_roads.execute_query(q, start_server=s, client_node=s).total_matches
+            small_roads.search(SearchRequest(q, start_server=s, client_node=s)).outcome.total_matches
             for s in (0, 7, 19, 31)
         }
         assert len(counts) == 1
 
     def test_root_start_without_overlay(self, small_roads, small_queries):
         q = small_queries[1]
-        with_overlay = small_roads.execute_query(q, client_node=3)
-        without = small_roads.execute_query(
-            q, client_node=3, use_overlay=False
-        )
+        with_overlay = small_roads.search(SearchRequest(q, client_node=3)).outcome
+        without = small_roads.search(SearchRequest(q, client_node=3, use_overlay=False)).outcome
         assert without.total_matches == with_overlay.total_matches
         assert without.start_server == small_roads.hierarchy.root.server_id
 
 
 class TestQueryMetrics:
     def test_latency_measures_last_arrival(self, small_roads, small_queries):
-        o = small_roads.execute_query(small_queries[2], client_node=5)
+        o = small_roads.search(SearchRequest(small_queries[2], client_node=5)).outcome
         assert o.latency >= 0
         if o.arrivals:
             assert o.latency == max(o.arrivals.values()) - o.started_at
 
     def test_bytes_grow_with_contacts(self, small_roads, small_queries):
-        outs = [small_roads.execute_query(q) for q in small_queries[:10]]
+        outs = [small_roads.search(SearchRequest(q)).outcome for q in small_queries[:10]]
         for o in outs:
             assert o.query_bytes >= o.servers_contacted * o.query.size_bytes
 
     def test_no_duplicate_contacts(self, small_roads, small_queries):
         for q in small_queries[:10]:
-            o = small_roads.execute_query(q)
+            o = small_roads.search(SearchRequest(q)).outcome
             assert len(o.arrivals) == o.servers_contacted
 
 
@@ -124,13 +122,13 @@ class TestPolicies:
         # Low-dimensional queries are unselective enough to always match.
         candidates = generate_queries(wcfg, num_queries=10, dimensions=2)
         q = max(candidates, key=lambda q: q.match_count(reference))
-        baseline = system.execute_query(q).total_matches
+        baseline = system.search(SearchRequest(q)).outcome.total_matches
         assert baseline > 0
         # Deny everything at the owner holding the most matches.
         per_owner = [(i, q.match_count(stores[i])) for i in range(32)]
         worst = max(per_owner, key=lambda t: t[1])
         system.set_policy(f"owner-{worst[0]}", DenyAllPolicy())
-        filtered = system.execute_query(q).total_matches
+        filtered = system.search(SearchRequest(q)).outcome.total_matches
         assert filtered == baseline - worst[1]
 
 
@@ -188,5 +186,5 @@ class TestResilienceIntegration:
             healthy_client = next(
                 s.server_id for s in system.hierarchy if s.alive
             )
-            o = system.execute_query(q, client_node=healthy_client)
+            o = system.search(SearchRequest(q, client_node=healthy_client)).outcome
             assert o.total_matches == q.match_count(reference)

@@ -5,7 +5,7 @@ import pytest
 
 from repro.net import DelaySpace, Network
 from repro.query import Query, RangePredicate
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.sim import QUERY, MetricsCollector, Simulator
 from repro.summaries import SummaryConfig
 from repro.workload import (
@@ -38,9 +38,7 @@ class TestScopedQueries:
         scope_server = next(
             s for s in system.hierarchy if not s.is_root and s.children
         )
-        outcome = system.execute_query(
-            q, client_node=0, scope=scope_server.server_id
-        )
+        outcome = system.search(SearchRequest(q, client_node=0, scope=scope_server.server_id)).outcome
         subtree_ids = {x.server_id for x in scope_server.iter_subtree()}
         assert set(outcome.arrivals) <= subtree_ids
         subtree_ref = merge_stores([stores[i] for i in sorted(subtree_ids)])
@@ -50,17 +48,21 @@ class TestScopedQueries:
         wcfg, stores, system = system_and_workload
         q = generate_queries(wcfg, num_queries=1, dimensions=2)[0]
         root_id = system.hierarchy.root.server_id
-        scoped = system.execute_query(q, client_node=3, scope=root_id)
-        full = system.execute_query(q, client_node=3)
+        scoped = system.search(SearchRequest(q, client_node=3, scope=root_id)).outcome
+        full = system.search(SearchRequest(q, client_node=3)).outcome
         assert scoped.total_matches == full.total_matches
 
     def test_widening_search_monotone(self, system_and_workload):
         wcfg, stores, system = system_and_workload
         q = generate_queries(wcfg, num_queries=1, dimensions=2)[0]
         leaf = max(system.hierarchy, key=lambda s: s.depth)
-        outcomes = system.widening_search(
-            q, leaf.server_id, min_matches=10**9  # never satisfied: all scopes
-        )
+        outcomes = [
+            r.outcome
+            for r in system.widening(
+                SearchRequest(q, client_node=leaf.server_id),
+                min_matches=10**9,  # never satisfied: all scopes
+            )
+        ]
         counts = [o.total_matches for o in outcomes]
         assert counts == sorted(counts)  # widening can only add results
         reference = merge_stores(stores)
@@ -70,7 +72,7 @@ class TestScopedQueries:
         wcfg, stores, system = system_and_workload
         q = generate_queries(wcfg, num_queries=1, dimensions=2)[0]
         leaf = max(system.hierarchy, key=lambda s: s.depth)
-        outcomes = system.widening_search(q, leaf.server_id, min_matches=1)
+        outcomes = [r.outcome for r in system.widening(SearchRequest(q, client_node=leaf.server_id), min_matches=1)]
         if outcomes[-1].total_matches >= 1:
             # every earlier scope must have been insufficient
             for o in outcomes[:-1]:

@@ -1,0 +1,254 @@
+"""The canonical search API and its deprecated shims.
+
+Covers the SearchRequest/SearchResult objects, the shim equivalence
+guarantee (same seed -> identical QueryOutcome through either entry
+point), the scope/start_server consistency fix, and the widening-search
+regression (one client for every scope; escalation stops at
+min_matches).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.roads import (
+    RetryPolicy,
+    RoadsConfig,
+    RoadsSystem,
+    SearchRequest,
+    SearchResult,
+)
+from repro.summaries import SummaryConfig
+from repro.workload import WorkloadConfig, generate_node_stores, generate_queries
+
+SEED = 5
+NODES = 32
+
+
+def build_system(**overrides):
+    wcfg = WorkloadConfig(num_nodes=NODES, records_per_node=80, seed=SEED)
+    cfg = RoadsConfig(
+        num_nodes=NODES,
+        records_per_node=80,
+        max_children=4,
+        summary=SummaryConfig(histogram_buckets=200),
+        seed=SEED,
+        **overrides,
+    )
+    return RoadsSystem.build(cfg, generate_node_stores(wcfg))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    wcfg = WorkloadConfig(num_nodes=NODES, records_per_node=80, seed=SEED)
+    return generate_queries(wcfg, num_queries=8, dimensions=3)
+
+
+def outcomes_equal(a, b):
+    assert a.total_matches == b.total_matches
+    assert a.latency == b.latency
+    assert a.servers_contacted == b.servers_contacted
+    assert a.query_bytes == b.query_bytes
+    assert a.query_messages == b.query_messages
+    assert a.client_node == b.client_node
+    assert a.start_server == b.start_server
+    assert a.timed_out_servers == b.timed_out_servers
+    assert a.shed_servers == b.shed_servers
+    assert {h.owner_id for h in a.owner_hits} == {
+        h.owner_id for h in b.owner_hits
+    }
+
+
+class TestSearchRequest:
+    def test_inconsistent_scope_and_start_rejected(self, queries):
+        with pytest.raises(ValueError, match="inconsistent"):
+            SearchRequest(queries[0], scope=3, start_server=4)
+
+    def test_matching_scope_and_start_allowed(self, queries):
+        req = SearchRequest(queries[0], scope=3, start_server=3)
+        assert req.entry_mode == "descent"
+
+    def test_bad_first_k_rejected(self, queries):
+        with pytest.raises(ValueError, match="first_k"):
+            SearchRequest(queries[0], first_k=0)
+
+    def test_entry_modes(self, queries):
+        assert SearchRequest(queries[0]).entry_mode == "start"
+        assert SearchRequest(queries[0], scope=2).entry_mode == "descent"
+        assert (
+            SearchRequest(queries[0], use_overlay=False).entry_mode
+            == "descent"
+        )
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_schedule(self):
+        p = RetryPolicy(backoff_base=0.2, backoff_factor=2.0)
+        assert p.delay_before_attempt(1) == 0.0
+        assert p.delay_before_attempt(2) == pytest.approx(0.2)
+        assert p.delay_before_attempt(3) == pytest.approx(0.4)
+        assert p.delay_before_attempt(4) == pytest.approx(0.8)
+        # base 0 = the historical immediate retry
+        assert RetryPolicy().delay_before_attempt(2) == 0.0
+
+
+class TestSearchResult:
+    def test_delegates_to_outcome(self, queries):
+        system = build_system()
+        result = system.search(SearchRequest(queries[0], client_node=3))
+        assert isinstance(result, SearchResult)
+        assert result.total_matches == result.outcome.total_matches
+        assert result.latency == result.outcome.latency
+        assert result.servers_contacted == result.outcome.servers_contacted
+        assert result.client_node == 3
+        assert result.finished_at >= result.submitted_at
+        assert result.sojourn == result.finished_at - result.submitted_at
+        assert result.ok and not result.shed
+
+    def test_unknown_attribute_raises(self, queries):
+        system = build_system()
+        result = system.search(SearchRequest(queries[0], client_node=3))
+        with pytest.raises(AttributeError):
+            result.no_such_attribute
+
+
+class TestShimEquivalence:
+    """Same seed -> identical QueryOutcome through either entry point."""
+
+    def test_execute_query_equivalent(self, queries):
+        legacy, canonical = build_system(), build_system()
+        for i, q in enumerate(queries[:4]):
+            with pytest.warns(DeprecationWarning, match="execute_query"):
+                old = legacy.execute_query(q, client_node=i)
+            new = canonical.search(SearchRequest(q, client_node=i)).outcome
+            outcomes_equal(old, new)
+
+    def test_execute_query_random_client_equivalent(self, queries):
+        # Client draws come from the system RNG in the same order.
+        legacy, canonical = build_system(), build_system()
+        for q in queries[:4]:
+            with pytest.warns(DeprecationWarning):
+                old = legacy.execute_query(q)
+            new = canonical.search(SearchRequest(q)).outcome
+            outcomes_equal(old, new)
+
+    def test_execute_queries_equivalent(self, queries):
+        legacy, canonical = build_system(), build_system()
+        clients = list(range(len(queries)))
+        with pytest.warns(DeprecationWarning, match="execute_queries"):
+            old = legacy.execute_queries(queries, client_nodes=clients)
+        new = canonical.search_many([
+            SearchRequest(q, client_node=c)
+            for q, c in zip(queries, clients)
+        ])
+        for o, n in zip(old, new):
+            outcomes_equal(o, n.outcome)
+
+    def test_widening_search_equivalent(self, queries):
+        legacy, canonical = build_system(), build_system()
+        with pytest.warns(DeprecationWarning, match="widening_search"):
+            old = legacy.widening_search(queries[0], 7, min_matches=1)
+        new = canonical.widening(
+            SearchRequest(queries[0], client_node=7), min_matches=1
+        )
+        assert len(old) == len(new)
+        for o, n in zip(old, new):
+            outcomes_equal(o, n.outcome)
+
+    def test_no_overlay_equivalent(self, queries):
+        legacy, canonical = build_system(), build_system()
+        with pytest.warns(DeprecationWarning):
+            old = legacy.execute_query(
+                queries[0], client_node=2, use_overlay=False
+            )
+        new = canonical.search(
+            SearchRequest(queries[0], client_node=2, use_overlay=False)
+        ).outcome
+        outcomes_equal(old, new)
+        assert new.start_server == canonical.hierarchy.root.server_id
+
+
+class TestWidening:
+    def test_all_scopes_share_one_client(self, queries):
+        """Regression: every scope of one widening search is issued by
+        the same client node."""
+        system = build_system()
+        leaf = max(system.hierarchy, key=lambda s: s.depth)
+        results = system.widening(
+            SearchRequest(queries[0], client_node=leaf.server_id),
+            min_matches=10**9,  # never satisfied: visit every scope
+        )
+        assert len(results) >= 2
+        assert {r.outcome.client_node for r in results} == {leaf.server_id}
+        # Scopes escalate: own server first, then each ancestor.
+        assert results[0].request.scope == leaf.server_id
+        assert results[-1].request.scope == system.hierarchy.root.server_id
+
+    def test_escalation_stops_at_min_matches(self, queries):
+        system = build_system()
+        leaf = max(system.hierarchy, key=lambda s: s.depth)
+        # Find a query with federation-wide matches, then ask for a
+        # count the first sufficient scope can satisfy.
+        full = system.search(
+            SearchRequest(queries[0], client_node=leaf.server_id)
+        )
+        assume_matches = full.total_matches
+        if assume_matches < 1:
+            pytest.skip("workload produced no matches for this query")
+        results = system.widening(
+            SearchRequest(queries[0], client_node=leaf.server_id),
+            min_matches=1,
+        )
+        # Stopped at the first scope with >= 1 match: every earlier
+        # scope was insufficient.
+        assert results[-1].total_matches >= 1
+        for r in results[:-1]:
+            assert r.total_matches < 1
+        # And it did not needlessly widen to the root if an inner scope
+        # sufficed.
+        counts = [r.total_matches for r in results]
+        assert counts == sorted(counts)
+
+    def test_widening_requires_client(self, queries):
+        system = build_system()
+        with pytest.raises(ValueError, match="client_node"):
+            system.widening(SearchRequest(queries[0]))
+
+
+class TestDeprecationSurface:
+    def test_all_three_shims_warn(self, queries):
+        system = build_system()
+        with pytest.warns(DeprecationWarning):
+            system.execute_query(queries[0], client_node=0)
+        with pytest.warns(DeprecationWarning):
+            system.execute_queries(queries[:1], client_nodes=[0])
+        with pytest.warns(DeprecationWarning):
+            system.widening_search(queries[0], 0)
+
+    def test_shim_kwargs_map_one_to_one(self, queries):
+        system = build_system()
+        with pytest.warns(DeprecationWarning):
+            o = system.execute_query(
+                queries[0],
+                client_node=1,
+                scope=1,
+                collect_records=True,
+                first_k=3,
+                trace=True,
+            )
+        assert o.client_node == 1
+        assert o.start_server == 1
+        assert o.trace_events  # trace was threaded through
+
+    def test_search_request_is_frozen(self, queries):
+        req = SearchRequest(queries[0], client_node=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            req.client_node = 2

@@ -5,7 +5,7 @@ import pytest
 
 from repro.net import DelaySpace, Network
 from repro.query import Query, RangePredicate
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.sim import MAINTENANCE, QUERY, UPDATE, MetricsCollector, Simulator
 from repro.summaries import SummaryConfig
 from repro.telemetry import (
@@ -276,7 +276,7 @@ class TestPerNetworkMessageIds:
 class TestSystemIntegration:
     def test_trace_events_back_compat_tuple_view(self):
         system = build_system()
-        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True)).outcome
         assert o.trace_events
         assert o.trace is o.trace_events
         for entry in o.trace:
@@ -289,20 +289,20 @@ class TestSystemIntegration:
         tel = Telemetry()
         system = build_system(telemetry=tel)
         baseline = tel.bus.emitted
-        o = system.execute_query(wide_query(), client_node=0, trace=False)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=False)).outcome
         assert o.trace_events == []
         assert o.trace == []
         # The bus still sees query.* structured events...
         assert tel.bus.emitted > baseline
         # ...but a system without telemetry records nothing anywhere.
         plain = build_system()
-        o2 = plain.execute_query(wide_query(), client_node=0, trace=False)
+        o2 = plain.search(SearchRequest(wide_query(), client_node=0, trace=False)).outcome
         assert o2.trace == []
 
     def test_disabled_telemetry_records_zero_events(self):
         tel = Telemetry(enabled=False)
         system = build_system(telemetry=tel)
-        system.execute_query(wide_query(), client_node=0)
+        system.search(SearchRequest(wide_query(), client_node=0)).outcome
         system.refresh()
         assert len(tel) == 0
         assert tel.bus.emitted == 0
@@ -310,7 +310,7 @@ class TestSystemIntegration:
     def test_query_span_emitted_with_sim_times(self):
         tel = Telemetry()
         system = build_system(telemetry=tel)
-        o = system.execute_query(wide_query(), client_node=0)
+        o = system.search(SearchRequest(wide_query(), client_node=0)).outcome
         spans = [e for e in tel.events() if e.name == "query.execute"]
         assert len(spans) == 1
         span = spans[0]
@@ -333,7 +333,7 @@ class TestSystemIntegration:
 
     def test_query_forward_load_attribution(self):
         system = build_system()
-        o = system.execute_query(wide_query(), client_node=0)
+        o = system.search(SearchRequest(wide_query(), client_node=0)).outcome
         loads = system.metrics.per_server(QUERY, "forward")
         assert set(loads) == set(o.arrivals)
         assert sum(m for m, _ in loads.values()) == o.servers_contacted

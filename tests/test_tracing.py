@@ -3,7 +3,7 @@
 import pytest
 
 from repro.query import Query, RangePredicate
-from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import WorkloadConfig, generate_node_stores
 
@@ -25,11 +25,11 @@ def wide_query():
 
 class TestTracing:
     def test_disabled_by_default(self, system):
-        o = system.execute_query(wide_query(), client_node=0)
+        o = system.search(SearchRequest(wide_query(), client_node=0)).outcome
         assert o.trace == []
 
     def test_events_recorded(self, system):
-        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True)).outcome
         events = [e for _, e, _, _ in o.trace]
         assert "send" in events
         assert "arrive" in events
@@ -38,27 +38,25 @@ class TestTracing:
         assert events.count("send") >= o.servers_contacted
 
     def test_times_monotone(self, system):
-        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True)).outcome
         times = [t for t, *_ in o.trace]
         assert times == sorted(times)
 
     def test_owner_events_carry_match_counts(self, system):
-        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True)).outcome
         owner_events = [e for e in o.trace if e[1] == "owner"]
         assert owner_events
         assert all("matches=" in e[3] for e in owner_events)
 
     def test_format_trace_readable(self, system):
-        o = system.execute_query(wide_query(), client_node=0, trace=True)
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True)).outcome
         text = o.format_trace()
         assert "ms" in text
         assert "arrive" in text
         assert len(text.splitlines()) == len(o.trace)
 
     def test_satisfied_event_with_first_k(self, system):
-        o = system.execute_query(
-            wide_query(), client_node=0, trace=True, first_k=1
-        )
+        o = system.search(SearchRequest(wide_query(), client_node=0, trace=True, first_k=1)).outcome
         events = [e for _, e, _, _ in o.trace]
         # Early termination leaves a visible mark when redirects are skipped.
         assert o.total_matches >= 1

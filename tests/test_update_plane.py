@@ -21,7 +21,7 @@ import pytest
 
 from repro.net.transport import SUMMARY_FULL, SUMMARY_KEEPALIVE
 from repro.query import Query, RangePredicate
-from repro.roads import GuestOwner, RoadsConfig, RoadsSystem
+from repro.roads import GuestOwner, RoadsConfig, RoadsSystem, SearchRequest
 from repro.summaries import SummaryConfig
 from repro.workload import WorkloadConfig, generate_node_stores, merge_stores
 from repro.workload.queries import generate_queries
@@ -222,7 +222,7 @@ class TestLossAndTTL:
         )  # ...but genuinely stale
         # A query for the new value quietly misses the changed owner:
         # every summary on the routing path still shows the old content.
-        outcome = system.execute_query(query, client_node=0)
+        outcome = system.search(SearchRequest(query, client_node=0)).outcome
         assert outcome.completed
         owner = f"owner-{leaf.server_id}"
         assert owner not in {h.owner_id for h in outcome.owner_hits}
@@ -239,7 +239,7 @@ class TestLossAndTTL:
         assert not stale_entry.is_expired(sim.now)
         sim.run(until=sim.now + 12.0)  # past the 40s TTL, no epoch yet
         assert stale_entry.is_expired(sim.now)
-        outcome = system.execute_query(query, client_node=0)
+        outcome = system.search(SearchRequest(query, client_node=0)).outcome
         assert outcome.completed  # expired branch degrades, not raises
         owner = f"owner-{leaf.server_id}"
         assert owner not in {h.owner_id for h in outcome.owner_hits}
@@ -259,7 +259,7 @@ class TestLossAndTTL:
         assert held.fingerprint() == (
             leaf.branch_summary(system.config.summary, sim.now).fingerprint()
         )
-        outcome = system.execute_query(query, client_node=0)
+        outcome = system.search(SearchRequest(query, client_node=0)).outcome
         owner = f"owner-{leaf.server_id}"
         assert owner in {h.owner_id for h in outcome.owner_hits}
         reference = merge_stores(stores)
@@ -287,7 +287,7 @@ class TestFreeRunning:
         assert plane.ticks >= len(system.hierarchy)
         reference = merge_stores(stores)
         for q in generate_queries(wcfg, num_queries=5, dimensions=2):
-            o = system.execute_query(q, client_node=1)
+            o = system.search(SearchRequest(q, client_node=1)).outcome
             assert o.total_matches == q.match_count(reference)
 
     def test_start_is_idempotent_and_stop_halts_traffic(self):
@@ -374,7 +374,7 @@ class TestQueryEntryModes:
         branch = root.children[0]
         branch_ids = {s.server_id for s in branch.iter_subtree()}
         q = Query.of(RangePredicate("u0", 0.0, 1.0))
-        outcome = system.execute_query(q, client_node=0, scope=branch.server_id)
+        outcome = system.search(SearchRequest(q, client_node=0, scope=branch.server_id)).outcome
         contacted_servers = set(outcome.arrivals) & {
             s.server_id for s in system.hierarchy
         }

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.query import selectivity
+from repro.roads import SearchRequest
 from repro.sim.rng import SeedSequenceFactory
 from repro.workload import (
     FAMILY_ORDER,
@@ -280,5 +281,5 @@ class TestZipfSkew:
         )
         reference = merge_stores(stores)
         for q in generate_queries(cfg, num_queries=5, dimensions=2):
-            o = system.execute_query(q, client_node=0)
+            o = system.search(SearchRequest(q, client_node=0)).outcome
             assert o.total_matches == q.match_count(reference)
