@@ -171,6 +171,128 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Reconstruct causal trees from an exported event artifact."""
+    from .telemetry import assemble_traces, critical_path
+    from .telemetry.export import read_jsonl, write_chrome_trace
+
+    events = read_jsonl(args.artifact)
+    trees = assemble_traces(events)
+    if not trees:
+        print(
+            f"no causally-tagged events in {args.artifact} "
+            "(produce one with `repro telemetry --export-jsonl`)"
+        )
+        return 1
+    if args.list:
+        print(f"{len(trees)} traces in {args.artifact}:")
+        for tid in sorted(trees):
+            tree = trees[tid]
+            root = tree.root
+            name = root.name if root is not None else "?"
+            print(
+                f"  trace {tid:>6}: {len(tree)} nodes, "
+                f"root {name} @ {root.start:.3f}s"
+                if root is not None
+                else f"  trace {tid:>6}: {len(tree)} nodes"
+            )
+        return 0
+    if args.trace_id is not None:
+        tree = trees.get(args.trace_id)
+        if tree is None:
+            print(f"trace {args.trace_id} not found "
+                  f"(have: {', '.join(str(t) for t in sorted(trees))})")
+            return 1
+    else:
+        # Default: the largest tree — the most interesting search.
+        tree = max(trees.values(), key=lambda t: (len(t), -t.trace_id))
+    print(f"trace {tree.trace_id}: {len(tree)} nodes, "
+          f"{len(tree.roots)} root(s)")
+    print(tree.format(max_nodes=args.max_nodes))
+    path = critical_path(tree)
+    if path.segments:
+        print()
+        print(path.format())
+    else:
+        print("(no query.arrive leaf under the root: no critical path)")
+    if args.chrome:
+        n = write_chrome_trace(events, args.chrome)
+        print(f"\n{n} trace events written to {args.chrome} "
+              "(load in Perfetto; causal flows drawn as arrows)")
+    return 0
+
+
+def _cmd_health(args) -> int:
+    """Build a small federation under load and print its health report."""
+    import json
+
+    from .net.transport import ServiceConfig
+    from .roads import RoadsConfig, RoadsSystem
+    from .roads.load import LoadConfig, LoadGenerator
+    from .roads.search import RetryPolicy
+    from .sim.rng import SeedSequenceFactory
+    from .telemetry import HealthProbe, HealthSLO, Telemetry
+    from .workload import WorkloadConfig, generate_node_stores
+    from .workload.queries import generate_queries
+
+    wcfg = WorkloadConfig(
+        num_nodes=args.nodes, records_per_node=args.records, seed=args.seed
+    )
+    stores = generate_node_stores(wcfg)
+    config = RoadsConfig(
+        num_nodes=args.nodes,
+        records_per_node=args.records,
+        summary_interval=args.interval,
+        delta_updates=True,
+        loss_rate=args.loss,
+        seed=args.seed,
+    )
+    tel = Telemetry()
+    system = RoadsSystem.build(config, stores, telemetry=tel)
+    system.enable_service(
+        ServiceConfig(
+            service_time=args.service_time, queue_limit=args.queue_limit
+        )
+    )
+    system.update_plane.start()
+    probe = HealthProbe(
+        system, interval=args.probe_interval, stale_after=1.5 * args.interval
+    ).start()
+    queries = generate_queries(wcfg, num_queries=max(args.queries, 1))
+    seeds = SeedSequenceFactory(args.seed)
+    gen = LoadGenerator(
+        system,
+        queries,
+        LoadConfig(
+            rate=args.rate,
+            horizon=args.duration,
+            retry=RetryPolicy(timeout=2.0, retries=2, backoff_base=0.2),
+        ),
+        seeds.fresh_generator("health-load"),
+    )
+    report_load = gen.run()
+    probe.stop()
+    # Judge loss and coverage against the injected rate (plus headroom):
+    # the probe reports what *happened*; the SLO says what is acceptable,
+    # and deliberately lossy links legitimately lower both.
+    defaults = HealthSLO()
+    slo = HealthSLO(
+        max_loss_fraction=max(defaults.max_loss_fraction, 3 * args.loss),
+        min_coverage=min(defaults.min_coverage, 1.0 - 3 * args.loss),
+    )
+    report = probe.report(slo)
+    print(
+        f"load: {report_load.offered} queries offered at {args.rate}/s, "
+        f"{report_load.ok} ok, {report_load.shed_queries} shed"
+    )
+    print(report.format())
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"health report written to {args.export}")
+    return 0 if report.healthy else 1
+
+
 def _cmd_selftest(args) -> int:
     from .experiments import run_trial
 
@@ -392,6 +514,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export-prom", metavar="PATH",
                    help="write a Prometheus-style metrics snapshot")
     p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "trace",
+        help="reconstruct causal trees from an exported JSONL artifact",
+    )
+    p.add_argument("artifact", help="events JSONL written by "
+                                    "`repro telemetry --export-jsonl`")
+    p.add_argument("--trace-id", type=int, default=None,
+                   help="trace to print (default: the largest)")
+    p.add_argument("--list", action="store_true",
+                   help="list the traces in the artifact and exit")
+    p.add_argument("--max-nodes", type=int, default=200,
+                   help="cap on rendered tree nodes")
+    p.add_argument("--chrome", metavar="PATH",
+                   help="also write a Chrome trace_event JSON with "
+                        "causal flow arrows")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "health",
+        help="run a small federation under load and print its health "
+             "report (non-zero exit when an SLO check fails)",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--records", type=int, default=40)
+    p.add_argument("--queries", type=int, default=30,
+                   help="size of the query pool offered as load")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="offered load, queries per virtual second")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="arrival-window length in virtual seconds")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="injected message loss rate")
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="summary update interval (t_s) in virtual seconds")
+    p.add_argument("--service-time", type=float, default=0.002)
+    p.add_argument("--queue-limit", type=int, default=64)
+    p.add_argument("--probe-interval", type=float, default=0.5,
+                   help="health-probe cadence in virtual seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--export", metavar="PATH",
+                   help="write the health report as JSON")
+    p.set_defaults(fn=_cmd_health)
 
     p = sub.add_parser("figure", help="regenerate a table/figure")
     p.add_argument("target", choices=sorted(_FIGURES))

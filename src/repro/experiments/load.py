@@ -136,6 +136,8 @@ def offered_load_rows(
                     sum(float(s["max_depth"]) for s in all_stats)
                     / max(len(all_stats), 1)
                 ),
-                "messages_shed_total": float(system.network.shed),
+                "messages_shed_total": float(
+                    system.network.counters()["shed"]
+                ),
             })
     return rows

@@ -1,0 +1,233 @@
+"""Trace deep-dive: causal-tracing fidelity and overhead, benchmarked.
+
+The ``trace_deep_dive`` scenario answers two questions the tracing
+tentpole raises:
+
+1. **Fidelity** — does every completed search reconstruct as one causal
+   tree whose critical-path sum telescopes exactly to the reported
+   latency, even under message loss, retries and service-queue waits?
+   The driver runs a concurrent query batch plus widening searches on a
+   lossy federation with bounded service queues, assembles the trace
+   trees and verifies ``critical_path(tree).total == outcome.latency``
+   for every search that produced a causal leaf.
+2. **Overhead** — what does tracing cost? The same seeded workload runs
+   twice, telemetry absent vs tracing enabled, and the row reports the
+   wall-clock ratio. Simulated outcomes must be bit-identical between
+   the arms (ids come from telemetry counters, never the sim RNG), so
+   the row also carries the latency delta — any nonzero value means
+   tracing perturbed the simulation and fails the shape check.
+
+Wall-clock columns are ``wall_``-prefixed so the bench registry maps
+them into the ``wall.*`` metric namespace (regression-only tolerance
+band); everything else is deterministic and sits in the tight
+symmetric band.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from ..net.transport import ServiceConfig
+from ..roads import RetryPolicy, RoadsConfig, RoadsSystem
+from ..roads.search import SearchRequest
+from ..summaries.config import SummaryConfig
+from ..telemetry import Telemetry, assemble_traces, critical_path
+from ..workload import WorkloadConfig, generate_node_stores
+from ..workload.queries import generate_queries
+from .config import ExperimentSettings
+
+#: loss injected on every link — enough to force retries and lost
+#: responses into the traces without stalling the workload
+LOSS_RATE = 0.08
+#: per-server single-server queue: queries see real wait/serve spans
+SERVICE = ServiceConfig(service_time=0.004, queue_limit=16)
+#: client patience: timeouts short enough that lost messages retry
+#: within the run, with exponential backoff
+RETRY = RetryPolicy(timeout=1.0, retries=2, backoff_base=0.1)
+#: widening searches demand this many matches before settling
+WIDENING_MIN_MATCHES = 3
+#: paired wall-clock runs per arm; the fastest repeat is reported
+REPEATS = 2
+#: absolute ceiling on the traced/absent wall-clock ratio — tracing
+#: must never multiply runtime by this much (the committed baseline
+#: plus the ``wall.*`` regression band police the finer drift)
+OVERHEAD_CEILING = 8.0
+#: tolerance when matching a critical-path sum to the reported latency
+PATH_EPSILON = 1e-9
+
+
+def _drive(
+    settings: ExperimentSettings, telemetry: Optional[Telemetry]
+) -> Dict[str, object]:
+    """One arm: build the lossy federation, drive the query mix.
+
+    Returns the completed outcomes plus the arm's wall-clock seconds.
+    Both arms share every seed, so the sim-side results are identical
+    whether *telemetry* is attached or not.
+    """
+    n = min(settings.num_nodes, 48)
+    records = min(settings.records_per_node, 80)
+    num_queries = min(settings.num_queries, 24)
+    wcfg = WorkloadConfig(
+        num_nodes=n, records_per_node=records, seed=settings.seed
+    )
+    stores = generate_node_stores(wcfg)
+    config = RoadsConfig(
+        num_nodes=n,
+        records_per_node=records,
+        max_children=settings.max_children,
+        summary=SummaryConfig(
+            histogram_buckets=min(settings.histogram_buckets, 200)
+        ),
+        summary_interval=settings.summary_interval,
+        record_interval=settings.record_interval,
+        delta_updates=True,
+        loss_rate=LOSS_RATE,
+        seed=settings.seed,
+    )
+    wall_t0 = perf_counter()
+    system = RoadsSystem.build(config, stores, telemetry=telemetry)
+    system.enable_service(SERVICE)
+    system.update_plane.start()
+    # Drain the startup summary burst so queries hit a converged plane.
+    system.sim.run(until=system.sim.now + 2.0)
+
+    queries = generate_queries(
+        wcfg,
+        num_queries=num_queries,
+        dimensions=settings.query_dimensions,
+        range_length=settings.query_range_length,
+        seed_label="tracedive",
+    )
+    requests = [
+        SearchRequest(q, client_node=int(i % n), retry=RETRY)
+        for i, q in enumerate(queries)
+    ]
+    # Concurrent batch: staggered arrivals multiplex every query over
+    # the shared dispatcher while the update plane free-runs.
+    batch = system.search_many(
+        requests[: num_queries - 4],
+        arrivals=[0.05 * i for i in range(len(requests[: num_queries - 4]))],
+    )
+    outcomes = [r.outcome for r in batch]
+    # Widening searches: each one is a multi-scope causal tree under a
+    # single umbrella context.
+    widened = 0
+    for req in requests[num_queries - 4:]:
+        results = system.widening(req, min_matches=WIDENING_MIN_MATCHES)
+        outcomes.extend(r.outcome for r in results)
+        widened += len(results)
+    wall_seconds = perf_counter() - wall_t0
+    return {
+        "outcomes": outcomes,
+        "widened_scopes": widened,
+        "wall_seconds": wall_seconds,
+        "telemetry": telemetry,
+        "network": system.network.counters(),
+    }
+
+
+def trace_deep_dive_rows(
+    settings: ExperimentSettings, *, repeats: int = REPEATS
+) -> List[Dict[str, object]]:
+    """One row pairing the traced arm against the telemetry-absent arm."""
+    base_wall = float("inf")
+    traced_wall = float("inf")
+    base = traced = None
+    for _ in range(max(1, repeats)):
+        run = _drive(settings, None)
+        if run["wall_seconds"] < base_wall:
+            base_wall, base = run["wall_seconds"], run
+        run = _drive(settings, Telemetry(capacity=400_000))
+        if run["wall_seconds"] < traced_wall:
+            traced_wall, traced = run["wall_seconds"], run
+
+    tel = traced["telemetry"]
+    trees = assemble_traces(tel.events())
+    verified = mismatches = unverifiable = 0
+    category_seconds = {"wire": 0.0, "queue": 0.0, "service": 0.0,
+                        "processing": 0.0}
+    for outcome in traced["outcomes"]:
+        tree = trees.get(outcome.trace_id)
+        root = (
+            tree.nodes.get(outcome.root_span_id) if tree is not None else None
+        )
+        if root is None:
+            unverifiable += 1
+            continue
+        path = critical_path(tree, root=root)
+        if path.leaf is None:
+            # Every attempt lost: no causal leaf, nothing to attribute.
+            unverifiable += 1
+            continue
+        if abs(path.total - outcome.latency) <= PATH_EPSILON:
+            verified += 1
+            for cat, secs in path.by_category().items():
+                category_seconds[cat] = (
+                    category_seconds.get(cat, 0.0) + secs
+                )
+        else:
+            mismatches += 1
+
+    base_latency = sum(o.latency for o in base["outcomes"])
+    traced_latency = sum(o.latency for o in traced["outcomes"])
+    attributed = sum(category_seconds.values())
+    share = (lambda c: category_seconds[c] / attributed
+             if attributed > 0 else 0.0)
+    return [{
+        "queries": float(len(traced["outcomes"])),
+        "widened_scopes": float(traced["widened_scopes"]),
+        "traces": float(len(trees)),
+        "spans": float(sum(len(t) for t in trees.values())),
+        "verified_paths": float(verified),
+        "path_mismatches": float(mismatches),
+        "unverifiable": float(unverifiable),
+        "latency_total": float(traced_latency),
+        # Must be exactly zero: tracing may never perturb the sim.
+        "latency_delta": float(abs(traced_latency - base_latency)),
+        "messages_sent": float(traced["network"]["sent"]),
+        "messages_lost": float(traced["network"]["lost"]),
+        "messages_shed": float(traced["network"]["shed"]),
+        "wire_share": share("wire"),
+        "queue_share": share("queue"),
+        "service_share": share("service"),
+        "processing_share": share("processing"),
+        "events_emitted": float(tel.bus.emitted),
+        "wall_base_seconds": float(base_wall),
+        "wall_traced_seconds": float(traced_wall),
+        "wall_overhead_ratio": float(traced_wall / max(base_wall, 1e-9)),
+    }]
+
+
+def validate_trace_dive(rows: List[Dict[str, object]]) -> List[str]:
+    """Paper-shape checks for the ``trace_deep_dive`` scenario."""
+    failures: List[str] = []
+    if not rows:
+        return ["trace_deep_dive produced no rows"]
+    row = rows[0]
+    if float(row["latency_delta"]) != 0.0:
+        failures.append(
+            "tracing perturbed simulated latencies "
+            f"(delta={row['latency_delta']})"
+        )
+    if float(row["path_mismatches"]) > 0:
+        failures.append(
+            f"{row['path_mismatches']:.0f} critical-path sums did not "
+            "telescope to the reported latency"
+        )
+    if float(row["verified_paths"]) <= 0:
+        failures.append("no search verified critical path == latency")
+    if float(row["traces"]) <= 0 or float(row["spans"]) <= 0:
+        failures.append("traced arm assembled no causal trees")
+    if float(row["messages_lost"]) <= 0:
+        failures.append(
+            "loss injection inactive — the fidelity claim needs retries"
+        )
+    ratio = float(row["wall_overhead_ratio"])
+    if ratio > OVERHEAD_CEILING:
+        failures.append(
+            f"tracing overhead ratio {ratio:.2f}x exceeds the "
+            f"{OVERHEAD_CEILING:.0f}x ceiling"
+        )
+    return failures

@@ -32,6 +32,7 @@ from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 from ..sim.engine import Simulator
 from ..sim.metrics import MetricsCollector
 from ..telemetry.core import Telemetry
+from ..telemetry.tracing import TraceContext
 
 
 #: update-plane message kinds (Sections III-B/III-D): a *full* message
@@ -42,6 +43,9 @@ SUMMARY_FULL = "summary-full"
 SUMMARY_KEEPALIVE = "summary-keepalive"
 
 UPDATE_KINDS = (SUMMARY_FULL, SUMMARY_KEEPALIVE)
+
+#: shared empty tag dict for untraced messages (never mutated)
+_NO_TAGS: Dict[str, object] = {}
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,8 @@ class _ServiceQueue:
     def offer(self, msg: Message, run, on_dropped) -> bool:
         """Admit a delivered message (queue or serve) or shed it."""
         cfg = self.config
+        tel = self.net.telemetry
+        now = self.net.sim.now
         if self.busy:
             if (
                 cfg.queue_limit is not None
@@ -117,11 +123,17 @@ class _ServiceQueue:
             ):
                 self.shed += 1
                 return False
-            self.waiting.append((msg, run, on_dropped, self.net.sim.now))
+            # The queue-wait hop gets its own forked context so the
+            # wait span slots between the transit span and the serve
+            # span in the causal tree.
+            wait_ctx = tel.fork(msg.trace) if tel is not None else None
+            self.waiting.append((msg, run, on_dropped, now, wait_ctx))
         else:
             self.busy = True
+            serve_ctx = tel.fork(msg.trace) if tel is not None else None
             self.net.sim.schedule(
-                cfg.service_time, lambda: self._finish(msg, run, on_dropped)
+                cfg.service_time,
+                lambda: self._finish(msg, run, on_dropped, serve_ctx, now),
             )
         depth = self.depth
         if depth > self.max_depth:
@@ -131,26 +143,54 @@ class _ServiceQueue:
         )
         return True
 
-    def _finish(self, msg: Message, run, on_dropped) -> None:
+    def _finish(
+        self, msg: Message, run, on_dropped, ctx, started: float
+    ) -> None:
         self.busy_seconds += self.config.service_time
-        if self.net.is_failed(self.node):
+        net = self.net
+        tel = net.telemetry
+        if net.is_failed(self.node):
             # The node died while the message was queued or in service.
-            self.net.dropped += 1
+            net.dropped += 1
+            if tel is not None:
+                tel.event(
+                    "net.drop", src=msg.src, dst=msg.dst,
+                    category=msg.category, kind=msg.kind,
+                    msg_id=msg.msg_id, reason="receiver_failed",
+                    **(ctx.tags() if ctx is not None else {}),
+                )
             if on_dropped is not None:
                 on_dropped(msg, "receiver_failed")
         else:
             self.served += 1
-            run(msg)
+            if tel is not None and ctx is not None:
+                tel.emit_span(
+                    "service.serve", started, net.sim.now,
+                    server=self.node, category=msg.category,
+                    kind=msg.kind, msg_id=msg.msg_id, **ctx.tags(),
+                )
+            run(msg, ctx if ctx is not None else msg.trace)
         if self.waiting:
-            nxt_msg, nxt_run, nxt_dropped, enqueued = self.waiting.popleft()
-            self.net.metrics.registry.observe(
-                "service.queue_delay",
-                self.net.sim.now - enqueued,
-                server=self.node,
+            nxt_msg, nxt_run, nxt_dropped, enqueued, wait_ctx = (
+                self.waiting.popleft()
             )
-            self.net.sim.schedule(
+            now = net.sim.now
+            net.metrics.registry.observe(
+                "service.queue_delay", now - enqueued, server=self.node
+            )
+            if tel is not None and wait_ctx is not None:
+                tel.emit_span(
+                    "service.wait", enqueued, now,
+                    server=self.node, category=nxt_msg.category,
+                    kind=nxt_msg.kind, msg_id=nxt_msg.msg_id,
+                    depth=len(self.waiting), **wait_ctx.tags(),
+                )
+            serve_ctx = tel.fork(wait_ctx) if tel is not None else None
+            net.sim.schedule(
                 self.config.service_time,
-                lambda: self._finish(nxt_msg, nxt_run, nxt_dropped),
+                lambda: self._finish(
+                    nxt_msg, nxt_run, nxt_dropped, serve_ctx, now
+                ),
             )
         else:
             self.busy = False
@@ -168,6 +208,9 @@ class Message:
     msg_id: int = 0
     #: protocol message kind; dispatches to a kind handler when set
     kind: str = ""
+    #: causal trace coordinates propagated across this hop (None when
+    #: the sender is untraced or telemetry is disabled)
+    trace: Optional[TraceContext] = None
 
 
 class Network:
@@ -229,6 +272,14 @@ class Network:
         self.lost = 0
         #: messages shed by saturated service queues (all nodes)
         self.shed = 0
+        #: messages that hit the wire (sender alive at send time)
+        self.sent = 0
+        #: handler invocations (post queue/service when configured)
+        self.delivered = 0
+        #: causal context of the delivery currently being handled; valid
+        #: only for the duration of a handler call — receivers fork it
+        #: for the sends they make in response.
+        self.delivery_trace: Optional[TraceContext] = None
         # Message ids are per-network so independently built systems are
         # reproducible (a module-level counter would leak state between
         # builds and break id-based assertions across test orderings).
@@ -315,6 +366,7 @@ class Network:
         kind: str = "",
         on_dropped: Optional[Callable[[Message, str], None]] = None,
         on_rejected: Optional[Callable[[Message], None]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Message:
         """Send a message; returns the :class:`Message` descriptor.
 
@@ -331,17 +383,21 @@ class Network:
         when the destination's service queue sheds the message, a reject
         notice travels back and *on_rejected* fires at the sender one
         one-way delay later (the notice itself is delivered reliably).
+        *trace* rides on the message so every event of this hop (send,
+        transit, wait, serve, loss, shed) lands in the sender's causal
+        tree; during handler execution the receiver finds the hop's
+        context in :attr:`delivery_trace` to fork for downstream sends.
         """
         prof = self._profiler
         if prof is None:
             return self._send(src, dst, category, size_bytes, payload,
                               on_delivery, phase, kind, on_dropped,
-                              on_rejected)
+                              on_rejected, trace)
         t0 = perf_counter()
         try:
             return self._send(src, dst, category, size_bytes, payload,
                               on_delivery, phase, kind, on_dropped,
-                              on_rejected)
+                              on_rejected, trace)
         finally:
             prof.add("net.send", perf_counter() - t0)
 
@@ -357,10 +413,13 @@ class Network:
         kind: str = "",
         on_dropped: Optional[Callable[[Message, str], None]] = None,
         on_rejected: Optional[Callable[[Message], None]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Message:
         msg = Message(src=src, dst=dst, category=category,
                       size_bytes=int(size_bytes), payload=payload,
-                      msg_id=next(self._msg_counter), kind=kind)
+                      msg_id=next(self._msg_counter), kind=kind,
+                      trace=trace)
+        ctags = trace.tags() if trace is not None else _NO_TAGS
         self.metrics.record_message(
             category, msg.size_bytes, server=dst, phase=phase
         )
@@ -373,21 +432,25 @@ class Network:
             self.dropped += 1
             if tel is not None:
                 tel.event("net.drop", src=src, dst=dst, category=category,
-                          phase=phase, reason="sender_failed")
+                          phase=phase, kind=kind, msg_id=msg.msg_id,
+                          reason="sender_failed", **ctags)
             if on_dropped is not None:
                 on_dropped(msg, "sender_failed")
             return msg
+        self.sent += 1
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.lost += 1
             if tel is not None:
                 tel.event("net.loss", src=src, dst=dst, category=category,
-                          phase=phase, bytes=msg.size_bytes)
+                          phase=phase, kind=kind, msg_id=msg.msg_id,
+                          bytes=msg.size_bytes, **ctags)
             if on_dropped is not None:
                 on_dropped(msg, "lost")
             return msg  # bytes were sent; the message never arrives
         if tel is not None:
             tel.event("net.send", src=src, dst=dst, category=category,
-                      phase=phase, bytes=msg.size_bytes, msg_id=msg.msg_id)
+                      phase=phase, bytes=msg.size_bytes, msg_id=msg.msg_id,
+                      **ctags)
         delay = self.delay_space.latency(src, dst) + self.processing_delay
         sent_at = self.sim.now
 
@@ -396,15 +459,17 @@ class Network:
                 self.dropped += 1
                 if tel is not None:
                     tel.event("net.drop", src=src, dst=dst,
-                              category=category, phase=phase,
-                              reason="receiver_failed")
+                              category=category, phase=phase, kind=kind,
+                              msg_id=msg.msg_id, reason="receiver_failed",
+                              **ctags)
                 if on_dropped is not None:
                     on_dropped(msg, "receiver_failed")
                 return
             if tel is not None:
                 tel.emit_span("net.transit", sent_at, self.sim.now,
                               src=src, server=dst, category=category,
-                              phase=phase, bytes=msg.size_bytes)
+                              phase=phase, kind=kind, msg_id=msg.msg_id,
+                              bytes=msg.size_bytes, **ctags)
             handler = on_delivery
             if handler is None and kind:
                 handler = self._kind_handlers.get(kind)
@@ -414,16 +479,19 @@ class Network:
                 return
             svc = self._service.get(msg.dst)
             if svc is None:
-                self._invoke(handler, msg)
+                self._invoke(handler, msg, msg.trace)
                 return
-            if svc.offer(msg, lambda m: self._invoke(handler, m), on_dropped):
+            if svc.offer(
+                msg, lambda m, c: self._invoke(handler, m, c), on_dropped
+            ):
                 return
             # Shed: the service queue is full. Terminal for this message;
             # a sender that asked for notification hears back explicitly.
             self.shed += 1
             if tel is not None:
                 tel.event("net.shed", src=src, dst=dst, category=category,
-                          phase=phase, depth=svc.depth)
+                          phase=phase, kind=kind, msg_id=msg.msg_id,
+                          depth=svc.depth, **ctags)
             if on_rejected is not None:
                 self.metrics.record_message(
                     category, svc.config.reject_bytes,
@@ -437,13 +505,40 @@ class Network:
         self.sim.schedule(delay, deliver)
         return msg
 
-    def _invoke(self, handler: Callable[[Message], None], msg: Message) -> None:
+    def counters(self) -> Dict[str, int]:
+        """One snapshot of the network-level message dispositions.
+
+        ``sent`` counts messages that actually hit the wire (a failed
+        sender never transmits); ``delivered`` counts handler
+        invocations. ``sent - delivered`` at quiescence equals
+        ``lost + shed`` plus receiver-failed drops plus handlerless
+        deliveries.
+        """
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "dropped": self.dropped,
+            "shed": self.shed,
+        }
+
+    def _invoke(
+        self,
+        handler: Callable[[Message], None],
+        msg: Message,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
+        self.delivered += 1
+        self.delivery_trace = ctx if ctx is not None else msg.trace
         prof = self._profiler
-        if prof is None:
-            handler(msg)
-            return
-        t0 = perf_counter()
         try:
-            handler(msg)
+            if prof is None:
+                handler(msg)
+                return
+            t0 = perf_counter()
+            try:
+                handler(msg)
+            finally:
+                prof.add("net.deliver", perf_counter() - t0)
         finally:
-            prof.add("net.deliver", perf_counter() - t0)
+            self.delivery_trace = None

@@ -24,6 +24,7 @@ from ..sim.metrics import QUERY
 from ..summaries.config import SummaryConfig
 from ..telemetry.core import Telemetry
 from ..telemetry.events import TraceEvent
+from ..telemetry.tracing import TraceContext
 from ..hierarchy.join import Hierarchy
 from ..hierarchy.node import AttachedOwner, Server
 from ..overlay.routing import (
@@ -71,6 +72,12 @@ class QueryOutcome:
     rejections: int = 0
     #: optional structured event log (:class:`TraceEvent` entries)
     trace_events: List[TraceEvent] = field(default_factory=list)
+    #: causal trace this execution recorded under (0 = untraced)
+    trace_id: int = 0
+    #: span id of this execution's ``search`` root span (0 = untraced);
+    #: widening searches share one trace_id across scopes, so tests and
+    #: the CLI locate each round's subtree through this id
+    root_span_id: int = 0
 
     @property
     def trace(self) -> List[TraceEvent]:
@@ -138,6 +145,7 @@ class QueryExecution:
         trace: bool = False,
         telemetry: Optional[Telemetry] = None,
         on_complete: Optional[Callable[[QueryOutcome], None]] = None,
+        trace_parent: Optional[TraceContext] = None,
     ):
         self.sim = sim
         self.network = network
@@ -165,6 +173,10 @@ class QueryExecution:
         self.first_k = first_k
         self._tracing = trace
         self._telemetry = telemetry
+        #: causal parent the root context forks from (a widening search
+        #: passes its umbrella context so all rounds share one trace)
+        self._trace_parent = trace_parent
+        self._root_ctx: Optional[TraceContext] = None
         self.outcome = QueryOutcome(
             query=query, start_server=start_server_id, client_node=client_node
         )
@@ -173,15 +185,27 @@ class QueryExecution:
         self._answered_owners: Set[str] = set()
         self._done = False
 
-    def _trace(self, event: str, subject, detail="") -> None:
+    def _trace(
+        self, event: str, subject, detail="",
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         if self._tracing:
             self.outcome.trace_events.append(
                 TraceEvent(self.sim.now, event, str(subject), str(detail))
             )
         if self._telemetry is not None:
             self._telemetry.event(
-                f"query.{event}", subject=str(subject), detail=str(detail)
+                f"query.{event}", subject=str(subject), detail=str(detail),
+                **(ctx.tags() if ctx is not None else {}),
             )
+
+    def _fork(
+        self, ctx: Optional[TraceContext], **baggage
+    ) -> Optional[TraceContext]:
+        tel = self._telemetry
+        if tel is None:
+            return None
+        return tel.fork(ctx, **baggage)
 
     # -- driving ----------------------------------------------------------------
     #: entry modes for the first contacted server: ``"start"`` fans out
@@ -197,6 +221,15 @@ class QueryExecution:
                 f"mode must be one of {self.ENTRY_MODES}, got {mode!r}"
             )
         self.outcome.started_at = self.sim.now
+        tel = self._telemetry
+        if tel is not None:
+            if self._trace_parent is not None:
+                self._root_ctx = tel.fork(self._trace_parent)
+            else:
+                self._root_ctx = tel.new_trace()
+        if self._root_ctx is not None:
+            self.outcome.trace_id = self._root_ctx.trace_id
+            self.outcome.root_span_id = self._root_ctx.span_id
         self._contact(self.outcome.start_server, mode=mode)
         return self
 
@@ -224,15 +257,43 @@ class QueryExecution:
             return 0.0
         return self.backoff_base * self.backoff_factor ** (next_attempt - 2)
 
-    def _contact(self, server_id: int, *, mode: str) -> None:
+    def _contact(
+        self,
+        server_id: int,
+        *,
+        mode: str,
+        parent_ctx: Optional[TraceContext] = None,
+    ) -> None:
         if server_id in self._contacted:
             return
         self._contacted.add(server_id)
         self._outstanding += 1
-        state = {"replied": False, "attempts": 0}
+        # The contact context spans every attempt at this server; the
+        # first contact forks from the search root, a redirected contact
+        # from the delivery of the response that named this server.
+        ctx = self._fork(
+            parent_ctx if parent_ctx is not None else self._root_ctx
+        )
+        state = {"replied": False, "attempts": 0, "first_at": None}
+
+        def close_contact(terminal: str = "") -> None:
+            tel = self._telemetry
+            if tel is not None and ctx is not None:
+                tags = ctx.tags()
+                tags.update(
+                    server=server_id, mode=mode, attempts=state["attempts"]
+                )
+                if terminal:
+                    tags["terminal"] = terminal
+                tel.emit_span(
+                    "query.contact", state["first_at"], self.sim.now, **tags
+                )
 
         def attempt() -> None:
             state["attempts"] += 1
+            if state["first_at"] is None:
+                state["first_at"] = self.sim.now
+            msg_ctx = self._fork(ctx)
             self._trace(
                 "send",
                 f"server {server_id}",
@@ -247,13 +308,15 @@ class QueryExecution:
                 payload=self.query,
                 on_delivery=lambda msg: self._at_server(server_id, mode, state),
                 phase="forward",
+                kind="query",
                 on_rejected=rejected,
+                trace=msg_ctx,
             )
             state["timeout_event"] = self.sim.schedule(self.timeout, expire)
 
         def retry_or_give_up(terminal: str) -> None:
             if state["attempts"] <= self.retries:
-                self._trace("retry", f"server {server_id}")
+                self._trace("retry", f"server {server_id}", ctx=self._fork(ctx))
                 delay = self._retry_delay(state["attempts"] + 1)
                 if delay > 0:
                     self.sim.schedule(delay, lambda: (
@@ -267,7 +330,8 @@ class QueryExecution:
                 self.outcome.shed_servers.add(server_id)
             else:
                 self.outcome.timed_out_servers.add(server_id)
-            self._trace(terminal, f"server {server_id}")
+            self._trace(terminal, f"server {server_id}", ctx=self._fork(ctx))
+            close_contact(terminal)
             self._finish_one()
 
         def expire() -> None:
@@ -284,9 +348,14 @@ class QueryExecution:
             ev = state.get("timeout_event")
             if ev is not None:
                 ev.cancel()
-            self._trace("rejected", f"server {server_id}")
+            # The reject notice parents to the shed attempt's message
+            # context, so the tree shows which attempt bounced.
+            self._trace(
+                "rejected", f"server {server_id}", ctx=self._fork(msg.trace)
+            )
             retry_or_give_up("shed")
 
+        state["close_contact"] = close_contact
         attempt()
 
     def _get_server(self, server_id: int) -> Optional[Server]:
@@ -300,16 +369,35 @@ class QueryExecution:
         server = self._get_server(server_id)
         if server is None:
             return  # silent; the client-side timeout reclaims the slot
+        dctx = self.network.delivery_trace
+        first_arrival = server_id not in self.outcome.arrivals
         self.outcome.arrivals.setdefault(server_id, self.sim.now)
-        self._trace("arrive", f"server {server_id}")
+        # Only the first arrival is a causal-tree leaf; a duplicate
+        # delivery (retry after a lost response) must not mint a later
+        # ``query.arrive`` or the critical path would overshoot the
+        # reported latency.
+        self._trace(
+            "arrive", f"server {server_id}",
+            ctx=self._fork(dctx) if first_arrival else None,
+        )
         decide = {
             "start": decide_start,
             "descent": decide_descent,
             "local": decide_local,
         }[mode]
         decision = decide(server, self.query, self.summary_config, self.sim.now)
+        tel = self._telemetry
+        if tel is not None:
+            mctx = self._fork(dctx)
+            tel.event(
+                "server.match", server=server_id, mode=mode,
+                redirects=len(decision.redirect_ids),
+                owner_hits=len(decision.owner_hits),
+                owners_only=len(decision.owners_only_ids),
+                **(mctx.tags() if mctx is not None else {}),
+            )
         for owner in decision.owner_hits:
-            self._evaluate_owner(owner, server_id)
+            self._evaluate_owner(owner, server_id, dctx)
         self._account(decision.response_size_bytes)
         self.network.send(
             server_id,
@@ -319,9 +407,16 @@ class QueryExecution:
             payload=decision,
             on_delivery=lambda msg: self._on_redirects(decision, state),
             phase="response",
+            kind="query-response",
+            trace=self._fork(dctx),
         )
 
-    def _evaluate_owner(self, owner: AttachedOwner, server_id: int) -> None:
+    def _evaluate_owner(
+        self,
+        owner: AttachedOwner,
+        server_id: int,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
         """The query may have matching data at *owner*.
 
         Owners co-located with their attachment point (they control the
@@ -335,12 +430,16 @@ class QueryExecution:
             and owner.node_id != server_id
         )
         if remote:
-            self._contact_owner_node(owner)
+            self._contact_owner_node(owner, ctx)
             return
-        self._record_owner_answer(owner, server_id, self.sim.now)
+        self._record_owner_answer(owner, server_id, self.sim.now, ctx)
 
     def _record_owner_answer(
-        self, owner: AttachedOwner, at_node: int, arrival: float
+        self,
+        owner: AttachedOwner,
+        at_node: int,
+        arrival: float,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         """Apply the owner's local policy and record the hit.
 
@@ -360,9 +459,16 @@ class QueryExecution:
             false_positive=(len(answered) == 0),
         )
         self.outcome.owner_hits.append(hit)
-        self._trace("owner", owner.owner_id, f"matches={hit.match_count}")
+        self._trace(
+            "owner", owner.owner_id, f"matches={hit.match_count}",
+            ctx=self._fork(ctx),
+        )
 
-    def _contact_owner_node(self, owner: AttachedOwner) -> None:
+    def _contact_owner_node(
+        self,
+        owner: AttachedOwner,
+        parent_ctx: Optional[TraceContext] = None,
+    ) -> None:
         """Forward the query to a guest owner's own node."""
         node = owner.node_id
         assert node is not None
@@ -371,18 +477,41 @@ class QueryExecution:
         self._contacted.add(node)
         self._outstanding += 1
         self._account(self.query.size_bytes)
+        ctx = self._fork(parent_ctx)
+        first_at = self.sim.now
+
+        def ack_delivered() -> None:
+            tel = self._telemetry
+            if tel is not None and ctx is not None:
+                tel.emit_span(
+                    "query.contact", first_at, self.sim.now,
+                    server=node, mode="owner", owner=owner.owner_id,
+                    attempts=1, **ctx.tags(),
+                )
+            self._finish_one()
 
         def at_owner(msg: Message) -> None:
+            dctx = self.network.delivery_trace
+            first_arrival = node not in self.outcome.arrivals
             self.outcome.arrivals.setdefault(node, self.sim.now)
-            self._record_owner_answer(owner, node, self.sim.now)
+            tel = self._telemetry
+            if first_arrival and tel is not None:
+                actx = self._fork(dctx)
+                tel.event(
+                    "query.arrive", subject=f"owner node {node}", detail="",
+                    **(actx.tags() if actx is not None else {}),
+                )
+            self._record_owner_answer(owner, node, self.sim.now, dctx)
             self._account(_ACK_BYTES)
             self.network.send(
                 node,
                 self.client_node,
                 QUERY,
                 _ACK_BYTES,
-                on_delivery=lambda _msg: self._finish_one(),
+                on_delivery=lambda _msg: ack_delivered(),
                 phase="response",
+                kind="query-ack",
+                trace=self._fork(dctx),
             )
 
         self.network.send(
@@ -393,6 +522,8 @@ class QueryExecution:
             payload=self.query,
             on_delivery=at_owner,
             phase="forward",
+            kind="query",
+            trace=self._fork(ctx),
         )
 
     def _on_redirects(self, decision: RoutingDecision, state: Dict) -> None:
@@ -402,20 +533,28 @@ class QueryExecution:
         ev = state.get("timeout_event")
         if ev is not None:
             ev.cancel()  # don't let dead timers drag the clock forward
+        # Context of the response delivery: redirected contacts fork from
+        # it, so the tree shows match -> response transit -> new contact.
+        dctx = self.network.delivery_trace
+        close_contact = state.get("close_contact")
+        if close_contact is not None:
+            close_contact()
         if not self._satisfied():
             if decision.redirect_ids or decision.owners_only_ids:
                 self._trace(
                     "redirect",
                     f"server {decision.server_id}",
                     f"-> {decision.redirect_ids + decision.owners_only_ids}",
+                    ctx=self._fork(dctx),
                 )
             for rid in decision.redirect_ids:
-                self._contact(rid, mode="descent")
+                self._contact(rid, mode="descent", parent_ctx=dctx)
             for rid in decision.owners_only_ids:
-                self._contact(rid, mode="local")
+                self._contact(rid, mode="local", parent_ctx=dctx)
         elif decision.redirect_ids or decision.owners_only_ids:
             self._trace("satisfied", f"server {decision.server_id}",
-                        f"skipping {len(decision.redirect_ids)} redirects")
+                        f"skipping {len(decision.redirect_ids)} redirects",
+                        ctx=self._fork(dctx))
         self._finish_one()
 
     def _satisfied(self) -> bool:
@@ -431,5 +570,17 @@ class QueryExecution:
             # Completed means the fan-out fully resolved; timed-out and
             # shed servers are reported separately on the outcome.
             self.outcome.completed = True
+            tel = self._telemetry
+            if tel is not None and self._root_ctx is not None:
+                # The root span of this search's causal tree: it opens at
+                # query initiation, so the critical path from the last
+                # ``query.arrive`` telescopes to the reported latency.
+                tel.emit_span(
+                    "search", self.outcome.started_at, self.sim.now,
+                    client=self.client_node,
+                    start_server=self.outcome.start_server,
+                    servers=len(self.outcome.arrivals),
+                    **self._root_ctx.tags(),
+                )
             if self.on_complete is not None:
                 self.on_complete(self.outcome)

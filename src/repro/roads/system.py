@@ -306,6 +306,7 @@ class RoadsSystem:
         client: int,
         start: int,
         on_complete=None,
+        trace_parent=None,
     ) -> QueryExecution:
         return QueryExecution(
             self.sim,
@@ -325,9 +326,12 @@ class RoadsSystem:
             trace=request.trace,
             telemetry=self.telemetry,
             on_complete=on_complete,
+            trace_parent=trace_parent,
         )
 
-    def search(self, request: SearchRequest) -> SearchResult:
+    def search(
+        self, request: SearchRequest, *, trace_parent=None
+    ) -> SearchResult:
         """Run one request to completion; the canonical query entry point.
 
         Drives the shared simulator until the query fully resolves
@@ -336,7 +340,9 @@ class RoadsSystem:
         :meth:`search_many` with arrival offsets.
         """
         client, start = self._resolve_entry(request)
-        execution = self._make_execution(request, client, start)
+        execution = self._make_execution(
+            request, client, start, trace_parent=trace_parent
+        )
         tel = self.telemetry
         prof = tel.profiler if tel is not None else None
         wall_t0 = perf_counter() if prof is not None else 0.0
@@ -381,6 +387,7 @@ class RoadsSystem:
         request: SearchRequest,
         *,
         on_complete=None,
+        trace_parent=None,
     ) -> PendingSearch:
         """Start a query **without** driving the simulator (non-blocking).
 
@@ -421,7 +428,8 @@ class RoadsSystem:
                 on_complete(result)
 
         execution = self._make_execution(
-            request, client, start, on_complete=finish
+            request, client, start, on_complete=finish,
+            trace_parent=trace_parent,
         )
         pending.execution = execution
         execution.start(mode=request.entry_mode)
@@ -482,13 +490,33 @@ class RoadsSystem:
             )
         start = self.hierarchy.get(request.client_node)
         scopes = [request.client_node] + scope_candidates(start)
+        # One umbrella context for the whole widening search: every
+        # scope's ``search`` root forks from it, so all rounds (and their
+        # retries and rejects) reconstruct as a single causal tree.
+        tel = self.telemetry
+        umbrella = (
+            tel.new_trace(widening=request.client_node)
+            if tel is not None
+            else None
+        )
+        started_at = self.sim.now
         results: List[SearchResult] = []
         for scope in scopes:
             results.append(
-                self.search(replace(request, scope=scope, start_server=None))
+                self.search(
+                    replace(request, scope=scope, start_server=None),
+                    trace_parent=umbrella,
+                )
             )
             if results[-1].outcome.total_matches >= min_matches:
                 break
+        if tel is not None and umbrella is not None:
+            tel.emit_span(
+                "search.widening", started_at, self.sim.now,
+                client=request.client_node, scopes=len(results),
+                matches=results[-1].outcome.total_matches,
+                **umbrella.tags(),
+            )
         return results
 
     def enable_service(

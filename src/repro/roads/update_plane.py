@@ -180,10 +180,19 @@ class UpdatePlane:
     ) -> None:
         self._inflight += 1
         kind = SUMMARY_KEEPALIVE if update.summary is None else SUMMARY_FULL
+        tel = self.telemetry
+        # Each update delivery is its own causal root: the interesting
+        # tree is short (send -> transit -> install outcome) but it gives
+        # stale-summary debugging the exact message that refreshed — or
+        # failed to refresh — a receiver's soft state.
+        # No baggage: the net.* events already label kind and phase, and
+        # baggage keys must not collide with per-event tag names.
+        ctx = tel.new_trace() if tel is not None else None
         self.network.send(
             src, dst, UPDATE, size,
             payload=update, phase=phase, kind=kind,
             on_dropped=self._on_dropped,
+            trace=ctx,
         )
 
     def _on_dropped(self, msg: Message, reason: str) -> None:
@@ -203,6 +212,14 @@ class UpdatePlane:
             return
         update: SummaryUpdate = msg.payload
         outcome = update.install(server, self.sim.now)
+        tel = self.telemetry
+        if tel is not None:
+            dctx = tel.fork(self.network.delivery_trace)
+            tel.event(
+                "update.deliver", server=msg.dst, src=msg.src,
+                kind=msg.kind, msg_id=msg.msg_id, outcome=outcome,
+                **(dctx.tags() if dctx is not None else {}),
+            )
         if outcome == "installed":
             c.installed += 1
             if update.summary is not None:

@@ -15,6 +15,13 @@ latency distributions. It has three cooperating pieces:
 * exporters — JSON-Lines event dumps, Prometheus-style text snapshots,
   and Chrome ``trace_event`` JSON loadable in Perfetto /
   ``chrome://tracing`` (:mod:`repro.telemetry.export`).
+* causal tracing — :class:`TraceContext` coordinates propagated on
+  every message, :func:`assemble_traces` span trees and
+  :func:`critical_path` latency attribution
+  (:mod:`repro.telemetry.tracing`).
+* health probes — :class:`HealthProbe` periodic samplers feeding
+  SLO-style :class:`HealthReport` verdicts
+  (:mod:`repro.telemetry.probes`).
 
 When no telemetry is attached (the default), instrumented code paths
 skip all recording; :data:`NULL_TELEMETRY` is a shared no-op recorder
@@ -33,7 +40,24 @@ from .export import (
     write_jsonl,
     write_prometheus,
 )
+from .probes import (
+    HealthCheck,
+    HealthProbe,
+    HealthReport,
+    HealthSLO,
+    HealthSample,
+)
 from .report import per_server_load_rows, root_load_share
+from .tracing import (
+    CriticalPath,
+    PATH_CATEGORIES,
+    SpanNode,
+    TraceContext,
+    TraceTree,
+    assemble_traces,
+    critical_path,
+    path_category,
+)
 
 __all__ = [
     "Telemetry",
@@ -54,4 +78,17 @@ __all__ = [
     "write_prometheus",
     "per_server_load_rows",
     "root_load_share",
+    "TraceContext",
+    "TraceTree",
+    "SpanNode",
+    "CriticalPath",
+    "PATH_CATEGORIES",
+    "assemble_traces",
+    "critical_path",
+    "path_category",
+    "HealthProbe",
+    "HealthSample",
+    "HealthSLO",
+    "HealthCheck",
+    "HealthReport",
 ]

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from .events import EventBus, TelemetryEvent
 from .metrics import MetricsRegistry
+from .tracing import TraceContext
 
 
 class Span:
@@ -130,6 +131,7 @@ class Telemetry:
         #: reference at construction time so the disabled path stays free.
         self.profiler = None
         self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
         self._stack: List[Span] = []
 
     # -- clock ----------------------------------------------------------------
@@ -144,6 +146,31 @@ class Telemetry:
     @property
     def now(self) -> float:
         return self._clock()
+
+    # -- causal trace contexts -----------------------------------------------------
+    def new_trace(self, **baggage) -> Optional[TraceContext]:
+        """Mint the root context of a new causal trace (None if disabled).
+
+        Ids come from this recorder's counters, so a fixed build order
+        yields identical ids run to run — traces are reproducible and
+        never consume simulation randomness.
+        """
+        if not self.enabled:
+            return None
+        return TraceContext(
+            trace_id=next(self._trace_ids),
+            span_id=next(self._span_ids),
+            parent_span_id=0,
+            baggage=tuple(sorted(baggage.items())) if baggage else (),
+        )
+
+    def fork(
+        self, ctx: Optional[TraceContext], **baggage
+    ) -> Optional[TraceContext]:
+        """Fork a child context of *ctx* (None in, or disabled: None out)."""
+        if not self.enabled or ctx is None:
+            return None
+        return ctx.child(next(self._span_ids), **baggage)
 
     # -- recording ----------------------------------------------------------------
     def event(self, name: str, **tags) -> Optional[TelemetryEvent]:
@@ -169,8 +196,14 @@ class Telemetry:
         self._stack.append(span)
         return span
 
-    def emit_span(self, name: str, start: float, end: float, **tags) -> None:
-        """Record an already-measured interval (no nesting bookkeeping)."""
+    def emit_span(
+        self, name: str, start: float, end: float, /, **tags
+    ) -> None:
+        """Record an already-measured interval (no nesting bookkeeping).
+
+        The first three parameters are positional-only so tags named
+        ``name``/``start``/``end`` stay usable.
+        """
         if not self.enabled:
             return
         parent = self._stack[-1].span_id if self._stack else 0
@@ -221,7 +254,15 @@ class NullTelemetry(Telemetry):
     def span(self, name: str, **tags) -> _NullSpan:
         return _NULL_SPAN
 
-    def emit_span(self, name: str, start: float, end: float, **tags) -> None:
+    def emit_span(
+        self, name: str, start: float, end: float, /, **tags
+    ) -> None:
+        return None
+
+    def new_trace(self, **baggage) -> None:
+        return None
+
+    def fork(self, ctx, **baggage) -> None:
         return None
 
 

@@ -10,7 +10,10 @@
   instants (``"ph": "i"``), timestamps in microseconds, grouped by the
   ``server`` tag as the pid so Perfetto / ``chrome://tracing`` renders
   one track per server; overlapping spans within a server are fanned out
-  to distinct ``tid`` lanes so none of them hide each other.
+  to distinct ``tid`` lanes so none of them hide each other. Events that
+  carry causal-trace tags additionally emit flow events (``"ph": "s"`` /
+  ``"ph": "f"``) whenever parent and child live on different pids, so
+  Perfetto draws the sender→receiver arrows of every traced hop.
 """
 
 from __future__ import annotations
@@ -152,6 +155,49 @@ def _assign_lanes(
         spans[i]["tid"] = lane
 
 
+def _causal_flows(
+    tagged: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Flow-event pairs for cross-pid causal edges.
+
+    For every causally-tagged entry whose parent entry sits on a
+    different pid, emit a flow start (``"ph": "s"``) anchored to the
+    parent's lane and a flow finish (``"ph": "f"``, binding point
+    ``"e"`` = enclosing slice) anchored to the child's, with the child's
+    span id as the flow id. Perfetto then draws the sender→receiver
+    arrow of the hop. Runs after lane assignment so the anchors carry
+    their final ``tid``.
+    """
+    by_sid: Dict[int, Dict[str, object]] = {}
+    for entry in tagged:
+        sid = int(entry["args"]["span_id"])
+        prev = by_sid.get(sid)
+        # A span outranks an instant that carried the same context
+        # (matching :func:`repro.telemetry.tracing.assemble_traces`).
+        if prev is None or (prev["ph"] != "X" and entry["ph"] == "X"):
+            by_sid[sid] = entry
+    flows: List[Dict[str, object]] = []
+    for entry in by_sid.values():
+        parent = by_sid.get(int(entry["args"].get("parent_span_id", 0)))
+        if parent is None or parent is entry or parent["pid"] == entry["pid"]:
+            continue
+        child_ts = float(entry["ts"])
+        parent_end = float(parent["ts"]) + float(parent.get("dur", 0.0))
+        fid = int(entry["args"]["span_id"])
+        common = {"name": "causal", "cat": "causal", "id": fid}
+        flows.append({
+            **common, "ph": "s",
+            "ts": min(parent_end, child_ts),
+            "pid": parent["pid"], "tid": parent["tid"],
+        })
+        flows.append({
+            **common, "ph": "f", "bp": "e",
+            "ts": child_ts,
+            "pid": entry["pid"], "tid": entry["tid"],
+        })
+    return flows
+
+
 def chrome_trace(
     events: Sequence[TelemetryEvent],
     *,
@@ -160,6 +206,7 @@ def chrome_trace(
     """Convert bus events into a ``chrome://tracing``-loadable object."""
     trace_events: List[Dict[str, object]] = []
     spans_by_pid: Dict[int, List[Dict[str, object]]] = {}
+    tagged: List[Dict[str, object]] = []
     pids = set()
     for e in events:
         pid = _trace_pid(e)
@@ -180,7 +227,7 @@ def chrome_trace(
             trace_events.append(entry)
             spans_by_pid.setdefault(pid, []).append(entry)
         else:
-            trace_events.append({
+            entry = {
                 "name": e.name,
                 "cat": e.name.split(".")[0],
                 "ph": "i",
@@ -189,9 +236,13 @@ def chrome_trace(
                 "pid": pid,
                 "tid": 0,
                 "args": args,
-            })
+            }
+            trace_events.append(entry)
+        if "trace_id" in args and "span_id" in args:
+            tagged.append(entry)
     for spans in spans_by_pid.values():
         _assign_lanes(spans)
+    trace_events.extend(_causal_flows(tagged))
     for pid in sorted(pids):
         trace_events.append({
             "name": "process_name",

@@ -208,3 +208,76 @@ class TestBenchCLI:
         assert rc == 0
         out = capsys.readouterr().out
         assert "fig3" in out and "overlay" in out
+        assert "trace_deep_dive" in out
+
+
+class TestTraceCLI:
+    """`repro trace` reconstructs causal trees from an event artifact."""
+
+    @pytest.fixture(scope="class")
+    def artifact(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace")
+        jsonl = out / "events.jsonl"
+        rc = main([
+            "telemetry", "--nodes", "16", "--records", "30",
+            "--queries", "6", "--seed", "3",
+            "--export-jsonl", str(jsonl),
+        ])
+        assert rc == 0
+        return jsonl
+
+    def test_list_traces(self, artifact, capsys):
+        rc = main(["trace", str(artifact), "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "traces in" in out and "nodes" in out
+
+    def test_render_largest_tree_with_critical_path(self, artifact, capsys):
+        rc = main(["trace", str(artifact)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "root(s)" in out
+        assert "critical path:" in out
+        assert "wire" in out and "processing" in out
+
+    def test_chrome_export(self, artifact, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        rc = main(["trace", str(artifact), "--chrome", str(chrome)])
+        assert rc == 0
+        doc = json.loads(chrome.read_text())
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+
+    def test_unknown_trace_id(self, artifact, capsys):
+        rc = main(["trace", str(artifact), "--trace-id", "999999999"])
+        assert rc == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_artifact_without_traces(self, tmp_path, capsys):
+        empty = tmp_path / "events.jsonl"
+        empty.write_text(
+            '{"ts": 0.0, "name": "plain", "kind": "event", "dur": 0.0, '
+            '"span_id": 0, "parent_id": 0, "tags": {}}\n'
+        )
+        rc = main(["trace", str(empty)])
+        assert rc == 1
+        assert "no causally-tagged events" in capsys.readouterr().out
+
+
+class TestHealthCLI:
+    """`repro health` builds a small sim and judges it against SLOs."""
+
+    def test_healthy_run_exits_zero(self, tmp_path, capsys):
+        report = tmp_path / "health.json"
+        rc = main([
+            "health", "--nodes", "12", "--records", "20",
+            "--queries", "10", "--rate", "10", "--duration", "2",
+            "--export", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "federation HEALTHY" in out
+        doc = json.loads(report.read_text())
+        assert doc["healthy"] is True
+        assert {c["name"] for c in doc["checks"]} >= {
+            "staleness", "coverage", "shedding", "loss"
+        }

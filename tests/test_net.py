@@ -117,7 +117,7 @@ class TestNetwork:
         net.send(0, 1, QUERY, 64)
         sim.run()
         assert got == []
-        assert net.dropped == 1
+        assert net.counters()["dropped"] == 1
         # Bytes still hit the wire from the (healthy) sender.
         assert net.metrics.bytes(QUERY) == 64
 

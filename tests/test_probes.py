@@ -1,0 +1,187 @@
+"""Federation health probes: sampling cadence, SLO verdicts, passivity.
+
+The probe rides the simulator on a fixed cadence, snapshots queue
+depths, network counters, summary staleness and replication coverage,
+and never perturbs the run — enabling it must leave every simulated
+outcome bit-identical.
+"""
+
+import pytest
+
+from repro.net.transport import ServiceConfig
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.summaries import SummaryConfig
+from repro.telemetry import (
+    HealthProbe,
+    HealthSLO,
+    HealthSample,
+    Telemetry,
+)
+from repro.telemetry.probes import PROBE_EVENT
+from repro.workload import WorkloadConfig, generate_node_stores
+
+SEED = 11
+NODES = 24
+
+
+def build_system(*, loss=0.0, telemetry=None, service=None, interval=1.0):
+    wcfg = WorkloadConfig(num_nodes=NODES, records_per_node=50, seed=SEED)
+    cfg = RoadsConfig(
+        num_nodes=NODES,
+        records_per_node=50,
+        max_children=4,
+        summary=SummaryConfig(histogram_buckets=200),
+        summary_interval=interval,
+        delta_updates=True,
+        loss_rate=loss,
+        seed=SEED,
+    )
+    system = RoadsSystem.build(
+        cfg, generate_node_stores(wcfg), telemetry=telemetry
+    )
+    if service is not None:
+        system.enable_service(service)
+    return system
+
+
+def sample(**overrides) -> HealthSample:
+    base = dict(
+        t=1.0, queue_depth_total=0, queue_depth_max=0, sent=100,
+        delivered=98, lost=2, dropped=0, shed=0, pending=3,
+        summary_entries=40, summary_age_mean=0.5, summary_age_max=1.0,
+        stale_fraction=0.0, coverage=1.0,
+    )
+    base.update(overrides)
+    return HealthSample(**base)
+
+
+class TestSampling:
+    def test_interval_must_be_positive(self):
+        system = build_system()
+        with pytest.raises(ValueError, match="interval"):
+            HealthProbe(system, interval=0.0)
+
+    def test_periodic_cadence(self):
+        system = build_system(service=ServiceConfig(service_time=0.001))
+        t0 = system.sim.now  # build already advanced the clock
+        probe = HealthProbe(system, interval=0.5).start()
+        system.update_plane.start()
+        system.sim.run(until=t0 + 5.0)
+        probe.stop()
+        assert len(probe.samples) == 10  # every 0.5s over (t0, t0+5.0]
+        times = [s.t for s in probe.samples]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(t0 + 0.5)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(0.5) for d in diffs)
+
+    def test_sample_reads_counters_and_staleness(self):
+        system = build_system(loss=0.2, interval=0.5)
+        system.update_plane.start()
+        probe = HealthProbe(system, interval=0.5, stale_after=0.75).start()
+        system.sim.run(until=6.0)
+        last = probe.samples[-1]
+        assert last.sent > 0
+        assert last.lost > 0  # loss injection observed via counters()
+        assert last.summary_entries > 0
+        assert last.summary_age_max > 0.0
+        # With one in five updates lost and a tight staleness bound,
+        # some sampled tick catches stale summaries.
+        assert max(s.stale_fraction for s in probe.samples) > 0.0
+        assert min(s.coverage for s in probe.samples) <= 1.0
+
+    def test_full_coverage_without_loss(self):
+        system = build_system()
+        system.update_plane.start()
+        probe = HealthProbe(system, interval=1.0).start()
+        system.sim.run(until=4.0)
+        assert probe.samples[-1].coverage == pytest.approx(1.0)
+
+    def test_probe_emits_telemetry_event(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        system.update_plane.start()
+        HealthProbe(system, interval=1.0).start()
+        system.sim.run(until=system.sim.now + 3.0)
+        probes = [e for e in tel.events() if e.name == PROBE_EVENT]
+        assert len(probes) == 3
+        assert {"queue_depth", "stale_fraction", "coverage"} <= set(
+            probes[0].tags
+        )
+
+    def test_sampling_is_passive(self):
+        # Identical runs with and without a probe: every network counter
+        # must match — the probe sends nothing and consumes no
+        # randomness.
+        def run(with_probe):
+            system = build_system(loss=0.1)
+            system.update_plane.start()
+            if with_probe:
+                HealthProbe(system, interval=0.25).start()
+            system.sim.run(until=6.0)
+            return system.network.counters()
+
+        assert run(True) == run(False)
+
+
+class TestReport:
+    def probe(self, samples):
+        p = HealthProbe(build_system(), interval=1.0)
+        p.samples = samples
+        return p
+
+    def test_healthy_report(self):
+        report = self.probe([sample(), sample(t=2.0)]).report()
+        assert report.healthy
+        assert report.samples == 2
+        assert report.window_start == 1.0 and report.window_end == 2.0
+        assert {c.name for c in report.checks} == {
+            "staleness", "coverage", "shedding", "loss"
+        }
+
+    def test_worst_sample_fails_staleness(self):
+        report = self.probe(
+            [sample(), sample(t=2.0, stale_fraction=0.5), sample(t=3.0)]
+        ).report()
+        assert not report.healthy
+        bad = next(c for c in report.checks if c.name == "staleness")
+        assert not bad.ok and bad.value == pytest.approx(0.5)
+
+    def test_coverage_and_loss_thresholds(self):
+        report = self.probe(
+            [sample(coverage=0.9, lost=50)]
+        ).report(HealthSLO(min_coverage=0.95, max_loss_fraction=0.25))
+        by = {c.name: c for c in report.checks}
+        assert not by["coverage"].ok
+        assert not by["loss"].ok  # 50/100 > 0.25
+        assert by["shedding"].ok
+
+    def test_queue_depth_check_is_opt_in(self):
+        samples = [sample(queue_depth_max=9)]
+        names = {c.name for c in self.probe(samples).report().checks}
+        assert "queue_depth" not in names
+        report = self.probe(samples).report(HealthSLO(max_queue_depth=4))
+        bad = next(c for c in report.checks if c.name == "queue_depth")
+        assert not bad.ok and bad.value == 9.0
+
+    def test_report_samples_on_demand_when_empty(self):
+        system = build_system()
+        probe = HealthProbe(system, interval=1.0)
+        report = probe.report()
+        assert report.samples == 1  # one synchronous sample was taken
+
+    def test_round_trips_and_formatting(self):
+        report = self.probe([sample(shed=20)]).report()
+        doc = report.to_dict()
+        assert doc["healthy"] is False
+        assert doc["last_sample"]["shed"] == 20.0
+        text = report.format()
+        assert "UNHEALTHY" in text
+        assert "shedding" in text
+        assert HealthSample(**{
+            k: (int(v) if k in (
+                "queue_depth_total", "queue_depth_max", "sent", "delivered",
+                "lost", "dropped", "shed", "pending", "summary_entries",
+            ) else v)
+            for k, v in sample().to_dict().items()
+        }) == sample()

@@ -103,8 +103,9 @@ class TestLossInjection:
         for _ in range(500):
             net.send(0, 1, QUERY, 8)
         sim.run()
-        assert net.lost == pytest.approx(150, abs=40)
-        assert len(delivered) == 500 - net.lost
+        counters = net.counters()
+        assert counters["lost"] == pytest.approx(150, abs=40)
+        assert len(delivered) == counters["sent"] - counters["lost"]
         # bytes are still accounted at the sender
         assert net.metrics.bytes(QUERY) == 500 * 8
 
@@ -115,7 +116,7 @@ class TestLossInjection:
         for _ in range(50):
             net.send(0, 1, QUERY, 8)
         sim.run()
-        assert net.lost == 0 and len(got) == 50
+        assert net.counters()["lost"] == 0 and len(got) == 50
 
     def test_maintenance_survives_lossy_network(self):
         """Heartbeats tolerate moderate loss without false failures."""

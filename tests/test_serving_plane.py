@@ -100,7 +100,7 @@ class TestServiceQueue:
         sim.run()
         assert delivered == ["first"]
         assert droppedreasons == ["shed"]
-        assert net.shed == 1
+        assert net.counters()["shed"] == 1
         assert net.service_stats(1)["shed"] == 1
         # The reject notice travelled back to the sender.
         assert [p for p, _ in rejected] == ["second"]

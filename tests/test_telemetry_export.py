@@ -105,6 +105,110 @@ class TestChromeTrace:
         assert all(e["tid"] == 0 for e in spans)
 
 
+class TestCausalFlows:
+    """Flow events (``"s"``/``"f"`` pairs) link sender and receiver lanes."""
+
+    @staticmethod
+    def traced_pair(parent_pid=1, child_pid=5):
+        tel = Telemetry()
+        clock = {"t": 0.0}
+        tel.bind_clock(lambda: clock["t"])
+        root = tel.new_trace()
+        tel.emit_span("query.contact", 0.0, 0.4, server=parent_pid,
+                      **root.tags())
+        hop = tel.fork(root)
+        tel.emit_span("net.transit", 0.1, 0.3, server=child_pid,
+                      **hop.tags())
+        return tel, root, hop
+
+    def test_cross_pid_edge_emits_flow_pair(self):
+        tel, _, hop = self.traced_pair()
+        doc = chrome_trace(tel.events())
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        assert len(flows) == 2
+        start = next(e for e in flows if e["ph"] == "s")
+        finish = next(e for e in flows if e["ph"] == "f")
+        # One flow id — the child's span id — shared by both halves.
+        assert start["id"] == finish["id"] == hop.span_id
+        assert start["name"] == finish["name"] == "causal"
+        assert finish["bp"] == "e"
+        # Start rides the sender's lane; finish rides the receiver's.
+        assert start["pid"] == 1 and finish["pid"] == 5
+        assert finish["ts"] == pytest.approx(0.1e6)
+        # The start anchor never floats after the child's begin.
+        assert start["ts"] <= finish["ts"]
+
+    def test_same_pid_edge_emits_no_flow(self):
+        tel, _, _ = self.traced_pair(parent_pid=3, child_pid=3)
+        doc = chrome_trace(tel.events())
+        assert not [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+
+    def test_flow_anchors_carry_final_lanes(self):
+        # The parent pid also hosts an overlapping untraced span, which
+        # forces lane fan-out; the flow start must reference the lane
+        # the traced span actually ended up on.
+        tel, root, hop = self.traced_pair()
+        tel.emit_span("update.aggregate", 0.0, 0.5, server=1)
+        doc = chrome_trace(tel.events())
+        contact = next(
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "query.contact"
+        )
+        start = next(e for e in doc["traceEvents"] if e["ph"] == "s")
+        assert start["tid"] == contact["tid"]
+
+    def test_span_outranks_instant_for_flow_anchoring(self):
+        # ``net.send`` (instant) and ``net.transit`` (span) share one
+        # span id; the flow must anchor to the span's entry.
+        tel = Telemetry()
+        clock = {"t": 0.1}
+        tel.bind_clock(lambda: clock["t"])
+        root = tel.new_trace()
+        tel.emit_span("query.contact", 0.0, 0.4, server=1, **root.tags())
+        hop = tel.fork(root)
+        tel.event("net.send", server=1, **hop.tags())
+        tel.emit_span("net.transit", 0.1, 0.3, server=5, **hop.tags())
+        doc = chrome_trace(tel.events())
+        finish = next(e for e in doc["traceEvents"] if e["ph"] == "f")
+        assert finish["pid"] == 5  # the span's pid, not the instant's
+
+    def test_concurrent_searches_produce_linked_overlapping_spans(self):
+        # N concurrent searches on a real federation: their query spans
+        # overlap in time, land on distinct lanes where they share a
+        # server, and every cross-server hop is linked by a flow pair.
+        from repro.roads import RoadsConfig, RoadsSystem, SearchRequest
+        from repro.workload import (
+            WorkloadConfig,
+            generate_node_stores,
+            generate_queries,
+        )
+
+        tel = Telemetry(capacity=100_000)
+        wcfg = WorkloadConfig(num_nodes=16, records_per_node=40, seed=5)
+        system = RoadsSystem.build(
+            RoadsConfig(num_nodes=16, records_per_node=40, seed=5),
+            generate_node_stores(wcfg),
+            telemetry=tel,
+        )
+        queries = generate_queries(wcfg, num_queries=6)
+        system.search_many(
+            [
+                SearchRequest(q, client_node=i)
+                for i, q in enumerate(queries)
+            ],
+            arrivals=[0.0] * len(queries),
+        )
+        doc = chrome_trace(tel.events())
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        assert flows
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"] for e in flows if e["ph"] == "f"}
+        assert starts == finishes  # every flow has both halves
+        # Overlapping transits into one server fan out across lanes.
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["tid"] > 0 for e in spans)
+
+
 class TestPrometheus:
     def test_counter_lines(self):
         r = MetricsRegistry()

@@ -269,7 +269,7 @@ class TestLossAndTTL:
         _, _, system = build(loss_rate=0.2, seed=9)
         system.refresh()
         assert system.update_plane.counters.lost > 0
-        assert system.network.lost > 0
+        assert system.network.counters()["lost"] > 0
 
 
 class TestFreeRunning:
