@@ -56,6 +56,10 @@ from ..experiments.staleness import (
     update_plane_staleness_rows,
     validate_update_plane,
 )
+from ..experiments.seriesbench import (
+    series_overhead_rows,
+    validate_series_overhead,
+)
 from ..experiments.table1 import analytical_rows, measured_rows
 from ..experiments.tracedive import trace_deep_dive_rows, validate_trace_dive
 from ..experiments.validation import (
@@ -269,6 +273,13 @@ SCENARIOS: Dict[str, Scenario] = {
             "Causal tracing: critical-path fidelity and wall overhead",
             lambda s, sw: trace_deep_dive_rows(s),
             validate_trace_dive,
+        ),
+        Scenario(
+            "series_overhead",
+            "Time-series plane: sampling overhead, zero perturbation, "
+            "SLO-triggered postmortems",
+            lambda s, sw: series_overhead_rows(s),
+            validate_series_overhead,
         ),
     )
 }

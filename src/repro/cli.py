@@ -173,7 +173,7 @@ def _cmd_telemetry(args) -> int:
 
 def _cmd_trace(args) -> int:
     """Reconstruct causal trees from an exported event artifact."""
-    from .telemetry import assemble_traces, critical_path
+    from .telemetry import assemble_traces, critical_path, diff_critical_paths
     from .telemetry.export import read_jsonl, write_chrome_trace
 
     events = read_jsonl(args.artifact)
@@ -184,6 +184,25 @@ def _cmd_trace(args) -> int:
             "(produce one with `repro telemetry --export-jsonl`)"
         )
         return 1
+    if args.diff:
+        tid_a, tid_b = args.diff
+        missing = [t for t in (tid_a, tid_b) if t not in trees]
+        if missing:
+            print(f"trace(s) {missing} not found "
+                  f"(have: {', '.join(str(t) for t in sorted(trees))})")
+            return 1
+        path_a = critical_path(trees[tid_a])
+        path_b = critical_path(trees[tid_b])
+        for tid, path in ((tid_a, path_a), (tid_b, path_b)):
+            if not path.segments:
+                print(f"trace {tid} has no query.arrive leaf: "
+                      "no critical path to diff")
+                return 1
+        print(diff_critical_paths(
+            path_a, path_b,
+            label_a=f"trace {tid_a}", label_b=f"trace {tid_b}",
+        ))
+        return 0
     if args.list:
         print(f"{len(trees)} traces in {args.artifact}:")
         for tid in sorted(trees):
@@ -291,6 +310,129 @@ def _cmd_health(args) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
         print(f"health report written to {args.export}")
     return 0 if report.healthy else 1
+
+
+def _cmd_watch(args) -> int:
+    """Run a federation under load with the full observability stack
+    armed: time-series sampler, SLO-judging probe, flight recorder."""
+    from .net.transport import ServiceConfig
+    from .roads import RoadsConfig, RoadsSystem
+    from .roads.load import LoadConfig, LoadGenerator
+    from .roads.search import RetryPolicy
+    from .sim.rng import SeedSequenceFactory
+    from .telemetry import (
+        FlightRecorder,
+        HealthProbe,
+        HealthSLO,
+        SeriesConfig,
+        SeriesSampler,
+        Telemetry,
+    )
+    from .telemetry.export import series_jsonl, write_series_jsonl
+    from .workload import WorkloadConfig, generate_node_stores
+    from .workload.queries import generate_queries
+
+    wcfg = WorkloadConfig(
+        num_nodes=args.nodes, records_per_node=args.records, seed=args.seed
+    )
+    stores = generate_node_stores(wcfg)
+    config = RoadsConfig(
+        num_nodes=args.nodes,
+        records_per_node=args.records,
+        summary_interval=args.interval,
+        delta_updates=True,
+        loss_rate=args.loss,
+        seed=args.seed,
+    )
+    tel = Telemetry()
+    system = RoadsSystem.build(config, stores, telemetry=tel)
+    system.enable_service(
+        ServiceConfig(
+            service_time=args.service_time, queue_limit=args.queue_limit
+        )
+    )
+    system.update_plane.start()
+    sampler = SeriesSampler(
+        system, SeriesConfig(interval=args.sample_interval)
+    ).start()
+    probe = HealthProbe(
+        system,
+        interval=args.probe_interval,
+        stale_after=1.5 * args.interval,
+        slo=HealthSLO(),
+    ).start()
+    recorder = FlightRecorder(
+        tel, sampler=sampler, dump_dir=args.postmortem_dir
+    ).bind(probe)
+    queries = generate_queries(wcfg, num_queries=max(args.queries, 1))
+    seeds = SeedSequenceFactory(args.seed)
+    gen = LoadGenerator(
+        system,
+        queries,
+        LoadConfig(
+            rate=args.rate,
+            horizon=args.duration,
+            retry=RetryPolicy(timeout=2.0, retries=2, backoff_base=0.2),
+        ),
+        seeds.fresh_generator("watch-load"),
+    )
+    report_load = gen.run()
+    sampler.stop()
+    probe.stop()
+    recorder.close()
+    print(
+        f"load: {report_load.offered} queries offered at {args.rate}/s, "
+        f"{report_load.ok} ok, {report_load.shed_queries} shed; "
+        f"{sampler.samples} samples over "
+        f"{len(sampler.all_series())} series"
+    )
+    if args.format == "sparkline":
+        print(sampler.format(metrics=args.metrics or None))
+    elif args.format == "csv":
+        print("metric,server,t,value")
+        for row in sampler.rows(rollups=False):
+            server = "" if row["server"] is None else row["server"]
+            print(f"{row['metric']},{server},{row['t']},{row['value']}")
+    elif args.format == "jsonl":
+        print(series_jsonl(sampler.rows()))
+    if args.export:
+        n = write_series_jsonl(sampler.rows(), args.export)
+        print(f"{n} series rows written to {args.export}")
+    if probe.breaches:
+        print(f"SLO breaches: "
+              + ", ".join(c.name for c in probe.breaches))
+    print(f"postmortems captured: {len(recorder.bundles)}")
+    for path in recorder.dumped:
+        print(f"  postmortem bundle written to {path}")
+    return 0
+
+
+def _cmd_postmortem(args) -> int:
+    """Render postmortem bundles dumped by the flight recorder."""
+    import json
+    from pathlib import Path
+
+    from .telemetry import PostmortemBundle
+
+    target = Path(args.path)
+    if target.is_dir():
+        paths = sorted(target.glob("postmortem_*.json"))
+    else:
+        paths = [target]
+    if not paths or not paths[0].exists():
+        print(f"no postmortem bundles under {target} "
+              "(produce them with `repro watch --postmortem-dir`)")
+        return 1
+    for i, path in enumerate(paths):
+        bundle = PostmortemBundle.load(path)
+        if i:
+            print()
+        print(f"== {path} ==")
+        if args.json:
+            print(json.dumps(bundle.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(bundle.format(max_nodes=args.max_nodes))
+    return 0
 
 
 def _cmd_selftest(args) -> int:
@@ -530,6 +672,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome", metavar="PATH",
                    help="also write a Chrome trace_event JSON with "
                         "causal flow arrows")
+    p.add_argument("--diff", nargs=2, type=int, metavar=("ID_A", "ID_B"),
+                   help="compare two traces' critical paths side-by-side "
+                        "with per-segment attribution deltas")
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
@@ -557,6 +702,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export", metavar="PATH",
                    help="write the health report as JSON")
     p.set_defaults(fn=_cmd_health)
+
+    p = sub.add_parser(
+        "watch",
+        help="run a federation under load with the time-series sampler, "
+             "SLO probe and flight recorder armed; render the series",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--records", type=int, default=40)
+    p.add_argument("--queries", type=int, default=30,
+                   help="size of the query pool offered as load")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="offered load, queries per virtual second")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="arrival-window length in virtual seconds")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="injected message loss rate")
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="summary update interval (t_s) in virtual seconds")
+    p.add_argument("--service-time", type=float, default=0.002)
+    p.add_argument("--queue-limit", type=int, default=64)
+    p.add_argument("--probe-interval", type=float, default=0.5,
+                   help="SLO-judging probe cadence in virtual seconds")
+    p.add_argument("--sample-interval", type=float, default=0.25,
+                   help="time-series sampling cadence in virtual seconds")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--format", choices=("sparkline", "csv", "jsonl"),
+                   default="sparkline",
+                   help="how to render the sampled series")
+    p.add_argument("--metrics", nargs="*", default=None,
+                   help="federation-wide gauges to render (default: all)")
+    p.add_argument("--export", metavar="PATH",
+                   help="also write the series rows as JSONL")
+    p.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                   help="dump SLO-breach postmortem bundles under DIR")
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="render postmortem bundles dumped by the flight recorder",
+    )
+    p.add_argument("path",
+                   help="a postmortem_*.json bundle, or a directory of them")
+    p.add_argument("--max-nodes", type=int, default=60,
+                   help="cap on rendered causal-tree nodes per trace")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw bundle JSON instead of the summary")
+    p.set_defaults(fn=_cmd_postmortem)
 
     p = sub.add_parser("figure", help="regenerate a table/figure")
     p.add_argument("target", choices=sorted(_FIGURES))

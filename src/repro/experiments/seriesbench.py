@@ -1,0 +1,231 @@
+"""Series overhead: the metrics plane's cost and zero-perturbation proof.
+
+The ``series_overhead`` scenario answers the two questions the
+time-series tentpole raises:
+
+1. **Perturbation** — does sampling change the simulation? The same
+   seeded lossy workload runs twice: the *base* arm with telemetry only,
+   the *observed* arm with telemetry **plus** the full observability
+   stack armed (:class:`SeriesSampler`, an SLO-judging
+   :class:`HealthProbe` and a bound :class:`FlightRecorder`). Sampling
+   only reads state — no messages, no sim randomness, no span ids — so
+   the summed query latencies must match byte-for-byte; the row carries
+   the delta and the validator fails on any nonzero value (the same
+   determinism tripwire ``trace_deep_dive`` holds for tracing).
+2. **Overhead** — what does continuous sampling cost in wall-clock?
+   The row reports the observed/base ratio under the ``wall_`` prefix so
+   the bench registry polices it in the regression-only band.
+
+The injected loss rate is chosen to breach the default loss SLO, so
+every run also exercises the full breach path end-to-end: the probe's
+ok→fail transition fires the recorder, and the row counts the captured
+postmortem bundles and the causal trace trees frozen inside them.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from ..net.transport import ServiceConfig
+from ..roads import RetryPolicy, RoadsConfig, RoadsSystem
+from ..roads.search import SearchRequest
+from ..summaries.config import SummaryConfig
+from ..telemetry import (
+    FlightRecorder,
+    HealthProbe,
+    HealthSLO,
+    SeriesConfig,
+    SeriesSampler,
+    Telemetry,
+)
+from ..workload import WorkloadConfig, generate_node_stores
+from ..workload.queries import generate_queries
+from .config import ExperimentSettings
+
+#: loss injected on every link — deliberately above the default
+#: ``HealthSLO.max_loss_fraction`` so the loss check breaches and the
+#: flight recorder's postmortem path runs in every benchmark run
+LOSS_RATE = 0.18
+#: per-server single-server queue: the queue-depth gauges move
+SERVICE = ServiceConfig(service_time=0.004, queue_limit=16)
+#: client patience under heavy loss
+RETRY = RetryPolicy(timeout=1.0, retries=2, backoff_base=0.1)
+#: sampling cadence for the observed arm
+SERIES = SeriesConfig(interval=0.25)
+#: probe cadence (SLO judged instantaneously every tick)
+PROBE_INTERVAL = 0.5
+#: paired wall-clock runs per arm; the fastest repeat is reported
+REPEATS = 2
+#: absolute ceiling on the observed/base wall-clock ratio
+OVERHEAD_CEILING = 8.0
+
+
+def _drive(
+    settings: ExperimentSettings, *, observe: bool
+) -> Dict[str, object]:
+    """One arm: the lossy federation under a concurrent query batch.
+
+    Both arms attach a :class:`Telemetry`; the observed arm additionally
+    arms sampler + probe + recorder. Every seed is shared, so the
+    sim-side outcomes must be identical across arms.
+    """
+    n = min(settings.num_nodes, 48)
+    records = min(settings.records_per_node, 80)
+    num_queries = min(settings.num_queries, 24)
+    wcfg = WorkloadConfig(
+        num_nodes=n, records_per_node=records, seed=settings.seed
+    )
+    stores = generate_node_stores(wcfg)
+    config = RoadsConfig(
+        num_nodes=n,
+        records_per_node=records,
+        max_children=settings.max_children,
+        summary=SummaryConfig(
+            histogram_buckets=min(settings.histogram_buckets, 200)
+        ),
+        summary_interval=settings.summary_interval,
+        record_interval=settings.record_interval,
+        delta_updates=True,
+        loss_rate=LOSS_RATE,
+        seed=settings.seed,
+    )
+    telemetry = Telemetry(capacity=400_000)
+    wall_t0 = perf_counter()
+    system = RoadsSystem.build(config, stores, telemetry=telemetry)
+    system.enable_service(SERVICE)
+    sampler: Optional[SeriesSampler] = None
+    probe: Optional[HealthProbe] = None
+    recorder: Optional[FlightRecorder] = None
+    if observe:
+        sampler = SeriesSampler(system, SERIES).start()
+    system.update_plane.start()
+    # Drain the startup summary burst so queries hit a converged plane.
+    system.sim.run(until=system.sim.now + 2.0)
+    if observe:
+        # Arm SLO judging only on the converged plane: the cold-start
+        # burst's cumulative loss would otherwise breach on the very
+        # first tick, before the event rings hold any causal traffic.
+        probe = HealthProbe(
+            system, interval=PROBE_INTERVAL, slo=HealthSLO()
+        ).start()
+        recorder = FlightRecorder(telemetry, sampler=sampler).bind(probe)
+
+    queries = generate_queries(
+        wcfg,
+        num_queries=num_queries,
+        dimensions=settings.query_dimensions,
+        range_length=settings.query_range_length,
+        seed_label="seriesbench",
+    )
+    requests = [
+        SearchRequest(q, client_node=int(i % n), retry=RETRY)
+        for i, q in enumerate(queries)
+    ]
+    batch = system.search_many(
+        requests,
+        arrivals=[0.05 * i for i in range(len(requests))],
+    )
+    outcomes = [r.outcome for r in batch]
+    # Let the cadences run past the last completion so the breach
+    # window's tail is sampled too.
+    system.sim.run(until=system.sim.now + 1.0)
+    wall_seconds = perf_counter() - wall_t0
+    if sampler is not None:
+        sampler.stop()
+    if probe is not None:
+        probe.stop()
+    if recorder is not None:
+        recorder.close()
+    return {
+        "outcomes": outcomes,
+        "wall_seconds": wall_seconds,
+        "sampler": sampler,
+        "probe": probe,
+        "recorder": recorder,
+        "network": system.network.counters(),
+    }
+
+
+def series_overhead_rows(
+    settings: ExperimentSettings, *, repeats: int = REPEATS
+) -> List[Dict[str, object]]:
+    """One row pairing the observed arm against the telemetry-only arm."""
+    base_wall = float("inf")
+    observed_wall = float("inf")
+    base = observed = None
+    for _ in range(max(1, repeats)):
+        run = _drive(settings, observe=False)
+        if run["wall_seconds"] < base_wall:
+            base_wall, base = run["wall_seconds"], run
+        run = _drive(settings, observe=True)
+        if run["wall_seconds"] < observed_wall:
+            observed_wall, observed = run["wall_seconds"], run
+
+    sampler = observed["sampler"]
+    probe = observed["probe"]
+    recorder = observed["recorder"]
+    rings = sampler.all_series()
+    base_latency = sum(o.latency for o in base["outcomes"])
+    observed_latency = sum(o.latency for o in observed["outcomes"])
+    bundles = list(recorder.bundles)
+    first = bundles[0] if bundles else None
+    return [{
+        "queries": float(len(observed["outcomes"])),
+        "samples": float(sampler.samples),
+        "series_count": float(len(rings)),
+        "points_appended": float(sum(r.appended for r in rings)),
+        "rollups": float(sum(len(r.rollups) for r in rings)),
+        "probe_samples": float(len(probe.samples)),
+        "breaches": float(len(probe.breaches)),
+        "postmortems": float(len(bundles)),
+        "bundle_traces": float(len(first.traces) if first else 0),
+        "bundle_series": float(len(first.series) if first else 0),
+        "bundle_ring_events": float(first.ring_events if first else 0),
+        "latency_total": float(observed_latency),
+        # Must be exactly zero: sampling may never perturb the sim.
+        "latency_delta": float(abs(observed_latency - base_latency)),
+        "messages_sent": float(observed["network"]["sent"]),
+        "messages_lost": float(observed["network"]["lost"]),
+        "wall_base_seconds": float(base_wall),
+        "wall_observed_seconds": float(observed_wall),
+        "wall_overhead_ratio": float(observed_wall / max(base_wall, 1e-9)),
+    }]
+
+
+def validate_series_overhead(rows: List[Dict[str, object]]) -> List[str]:
+    """Paper-shape checks for the ``series_overhead`` scenario."""
+    failures: List[str] = []
+    if not rows:
+        return ["series_overhead produced no rows"]
+    row = rows[0]
+    if float(row["latency_delta"]) != 0.0:
+        failures.append(
+            "sampling perturbed simulated latencies "
+            f"(delta={row['latency_delta']})"
+        )
+    if float(row["samples"]) <= 0 or float(row["points_appended"]) <= 0:
+        failures.append("the series sampler recorded nothing")
+    if float(row["rollups"]) <= 0:
+        failures.append("no downsampled rollup buckets were produced")
+    if float(row["messages_lost"]) <= 0:
+        failures.append("loss injection inactive — no SLO pressure")
+    if float(row["breaches"]) <= 0:
+        failures.append("the loss SLO never breached under injected loss")
+    if float(row["postmortems"]) <= 0:
+        failures.append("no postmortem bundle was captured on breach")
+    if float(row["bundle_traces"]) <= 0:
+        failures.append(
+            "the postmortem bundle froze no overlapping causal trace tree"
+        )
+    if float(row["bundle_series"]) <= 0:
+        failures.append(
+            "the postmortem bundle froze no breach-window time series"
+        )
+    ratio = float(row["wall_overhead_ratio"])
+    if ratio > OVERHEAD_CEILING:
+        failures.append(
+            f"sampling overhead ratio {ratio:.2f}x exceeds the "
+            f"{OVERHEAD_CEILING:.0f}x ceiling"
+        )
+    return failures

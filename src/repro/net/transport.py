@@ -340,12 +340,13 @@ class Network:
         if svc is None:
             return {
                 "served": 0.0, "shed": 0.0, "depth": 0.0,
-                "max_depth": 0.0, "busy_seconds": 0.0,
+                "waiting": 0.0, "max_depth": 0.0, "busy_seconds": 0.0,
             }
         return {
             "served": float(svc.served),
             "shed": float(svc.shed),
             "depth": float(svc.depth),
+            "waiting": float(len(svc.waiting)),
             "max_depth": float(svc.max_depth),
             "busy_seconds": svc.busy_seconds,
         }

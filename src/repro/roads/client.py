@@ -469,25 +469,48 @@ class QueryExecution:
         owner: AttachedOwner,
         parent_ctx: Optional[TraceContext] = None,
     ) -> None:
-        """Forward the query to a guest owner's own node."""
+        """Forward the query to a guest owner's own node.
+
+        The owner hop rides the same retry policy as server contacts:
+        each attempt arms a timeout, a lost query or lost ack triggers
+        backoff and re-send, and after ``retries`` re-attempts the
+        client gives up and reports the node in ``timed_out_servers`` —
+        so a lossy network can no longer strand the whole search on one
+        silent guest-owner leg.
+        """
         node = owner.node_id
         assert node is not None
         if node in self._contacted:
             return
         self._contacted.add(node)
         self._outstanding += 1
-        self._account(self.query.size_bytes)
         ctx = self._fork(parent_ctx)
-        first_at = self.sim.now
+        state = {"replied": False, "attempts": 0, "first_at": None}
 
-        def ack_delivered() -> None:
+        def close_contact(terminal: str = "") -> None:
             tel = self._telemetry
             if tel is not None and ctx is not None:
-                tel.emit_span(
-                    "query.contact", first_at, self.sim.now,
+                tags = ctx.tags()
+                tags.update(
                     server=node, mode="owner", owner=owner.owner_id,
-                    attempts=1, **ctx.tags(),
+                    attempts=state["attempts"],
                 )
+                if terminal:
+                    tags["terminal"] = terminal
+                tel.emit_span(
+                    "query.contact", state["first_at"], self.sim.now, **tags
+                )
+
+        def ack_delivered() -> None:
+            # A duplicate ack (slow first ack racing a retry's) must not
+            # double-close the contact slot.
+            if state["replied"]:
+                return
+            state["replied"] = True
+            ev = state.get("timeout_event")
+            if ev is not None:
+                ev.cancel()
+            close_contact()
             self._finish_one()
 
         def at_owner(msg: Message) -> None:
@@ -514,17 +537,71 @@ class QueryExecution:
                 trace=self._fork(dctx),
             )
 
-        self.network.send(
-            self.client_node,
-            node,
-            QUERY,
-            self.query.size_bytes,
-            payload=self.query,
-            on_delivery=at_owner,
-            phase="forward",
-            kind="query",
-            trace=self._fork(ctx),
-        )
+        def attempt() -> None:
+            state["attempts"] += 1
+            if state["first_at"] is None:
+                state["first_at"] = self.sim.now
+            msg_ctx = self._fork(ctx)
+            self._trace(
+                "send",
+                f"owner node {node}",
+                f"mode=owner try={state['attempts']}",
+            )
+            self._account(self.query.size_bytes)
+            self.network.send(
+                self.client_node,
+                node,
+                QUERY,
+                self.query.size_bytes,
+                payload=self.query,
+                on_delivery=at_owner,
+                phase="forward",
+                kind="query",
+                on_rejected=rejected,
+                trace=msg_ctx,
+            )
+            state["timeout_event"] = self.sim.schedule(self.timeout, expire)
+
+        def retry_or_give_up(terminal: str) -> None:
+            if state["attempts"] <= self.retries:
+                self._trace(
+                    "retry", f"owner node {node}", ctx=self._fork(ctx)
+                )
+                delay = self._retry_delay(state["attempts"] + 1)
+                if delay > 0:
+                    self.sim.schedule(delay, lambda: (
+                        attempt() if not state["replied"] else None
+                    ))
+                else:
+                    attempt()
+                return
+            state["replied"] = True
+            if terminal == "shed":
+                self.outcome.shed_servers.add(node)
+            else:
+                self.outcome.timed_out_servers.add(node)
+            self._trace(terminal, f"owner node {node}", ctx=self._fork(ctx))
+            close_contact(terminal)
+            self._finish_one()
+
+        def expire() -> None:
+            if state["replied"]:
+                return
+            retry_or_give_up("timeout")
+
+        def rejected(msg: Message) -> None:
+            if state["replied"]:
+                return
+            self.outcome.rejections += 1
+            ev = state.get("timeout_event")
+            if ev is not None:
+                ev.cancel()
+            self._trace(
+                "rejected", f"owner node {node}", ctx=self._fork(msg.trace)
+            )
+            retry_or_give_up("shed")
+
+        attempt()
 
     def _on_redirects(self, decision: RoutingDecision, state: Dict) -> None:
         if state["replied"]:

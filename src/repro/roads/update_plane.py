@@ -153,6 +153,12 @@ class UpdatePlane:
         network.register_kind(SUMMARY_FULL, self._on_update)
         network.register_kind(SUMMARY_KEEPALIVE, self._on_update)
 
+    @property
+    def inflight(self) -> int:
+        """Update messages and epoch events not yet terminally resolved
+        (read-only gauge for the time-series plane)."""
+        return self._inflight
+
     # -- actor registry ----------------------------------------------------------
     def _exporter(self, server: Server) -> SummaryExporter:
         ex = self._exporters.get(server.server_id)

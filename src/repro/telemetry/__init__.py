@@ -22,6 +22,12 @@ latency distributions. It has three cooperating pieces:
 * health probes — :class:`HealthProbe` periodic samplers feeding
   SLO-style :class:`HealthReport` verdicts
   (:mod:`repro.telemetry.probes`).
+* time series — :class:`SeriesSampler` periodic gauge snapshots into
+  bounded downsampling :class:`RingSeries` rings
+  (:mod:`repro.telemetry.series`).
+* flight recorder — :class:`FlightRecorder` per-server event rings that
+  freeze SLO breaches into :class:`PostmortemBundle` evidence windows
+  (:mod:`repro.telemetry.recorder`).
 
 When no telemetry is attached (the default), instrumented code paths
 skip all recording; :data:`NULL_TELEMETRY` is a shared no-op recorder
@@ -36,9 +42,12 @@ from .export import (
     chrome_trace,
     prometheus_text,
     read_jsonl,
+    read_series_jsonl,
+    series_jsonl,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
+    write_series_jsonl,
 )
 from .probes import (
     HealthCheck,
@@ -46,8 +55,17 @@ from .probes import (
     HealthReport,
     HealthSLO,
     HealthSample,
+    judge_sample,
 )
+from .recorder import FlightRecorder, PostmortemBundle
 from .report import per_server_load_rows, root_load_share
+from .series import (
+    RingSeries,
+    RollupPoint,
+    SeriesConfig,
+    SeriesSampler,
+    sparkline,
+)
 from .tracing import (
     CriticalPath,
     PATH_CATEGORIES,
@@ -56,6 +74,7 @@ from .tracing import (
     TraceTree,
     assemble_traces,
     critical_path,
+    diff_critical_paths,
     path_category,
 )
 
@@ -85,10 +104,22 @@ __all__ = [
     "PATH_CATEGORIES",
     "assemble_traces",
     "critical_path",
+    "diff_critical_paths",
     "path_category",
     "HealthProbe",
     "HealthSample",
     "HealthSLO",
     "HealthCheck",
     "HealthReport",
+    "judge_sample",
+    "RingSeries",
+    "RollupPoint",
+    "SeriesConfig",
+    "SeriesSampler",
+    "sparkline",
+    "series_jsonl",
+    "read_series_jsonl",
+    "write_series_jsonl",
+    "FlightRecorder",
+    "PostmortemBundle",
 ]

@@ -51,6 +51,40 @@ def read_jsonl(path) -> List[TelemetryEvent]:
     return out
 
 
+# -- time-series JSON-Lines ----------------------------------------------------
+def series_jsonl(rows: Iterable[Dict[str, object]]) -> str:
+    """Render time-series rows as JSONL (one object per line).
+
+    Rows follow the schema produced by
+    :meth:`repro.telemetry.series.SeriesSampler.rows`: raw points are
+    ``{"kind": "raw", "metric": ..., "server": ..., "t": ..., "value":
+    ...}`` and downsampled buckets are ``{"kind": "rollup", "metric":
+    ..., "server": ..., "t_start": ..., "t_end": ..., "count": ...,
+    "min": ..., "max": ..., "mean": ..., "p95": ...}`` — the schema the
+    bench observatory and ``repro watch --format jsonl`` share.
+    """
+    return "\n".join(json.dumps(r, sort_keys=True) for r in rows)
+
+
+def write_series_jsonl(rows: Iterable[Dict[str, object]], path) -> int:
+    """Write time-series rows as JSONL; returns the row count."""
+    lines = [json.dumps(r, sort_keys=True) for r in rows]
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_series_jsonl(path) -> List[Dict[str, object]]:
+    out: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
 # -- Prometheus text format ----------------------------------------------------
 def _escape_label_value(value: str) -> str:
     # Text exposition format: backslash, double-quote and newline must be

@@ -18,7 +18,7 @@ the observed value, the threshold it was judged against, and a verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 #: probe sample event name on the telemetry bus
 PROBE_EVENT = "probe.sample"
@@ -156,6 +156,60 @@ class HealthReport:
         return "\n".join(lines)
 
 
+def judge_sample(
+    sample: HealthSample, slo: HealthSLO
+) -> List[HealthCheck]:
+    """Judge one *instantaneous* sample against *slo*.
+
+    Unlike :meth:`HealthProbe.report` — which folds the worst value seen
+    across the whole sampled window and therefore never "recovers" — this
+    judges a single snapshot, which is what breach-transition detection
+    needs: a check can go ok → fail → ok again as the run unfolds.
+    """
+    sent = max(1, sample.sent)
+    checks = [
+        HealthCheck(
+            name="staleness",
+            ok=sample.stale_fraction <= slo.max_stale_fraction,
+            value=sample.stale_fraction,
+            threshold=slo.max_stale_fraction,
+            detail=f"stale_fraction at t={sample.t:.2f}s",
+        ),
+        HealthCheck(
+            name="coverage",
+            ok=sample.coverage >= slo.min_coverage,
+            value=sample.coverage,
+            threshold=slo.min_coverage,
+            detail=f"replication coverage at t={sample.t:.2f}s",
+        ),
+        HealthCheck(
+            name="shedding",
+            ok=sample.shed / sent <= slo.max_shed_fraction,
+            value=sample.shed / sent,
+            threshold=slo.max_shed_fraction,
+            detail=f"{sample.shed} shed of {sample.sent} sent",
+        ),
+        HealthCheck(
+            name="loss",
+            ok=sample.lost / sent <= slo.max_loss_fraction,
+            value=sample.lost / sent,
+            threshold=slo.max_loss_fraction,
+            detail=f"{sample.lost} lost of {sample.sent} sent",
+        ),
+    ]
+    if slo.max_queue_depth is not None:
+        checks.append(
+            HealthCheck(
+                name="queue_depth",
+                ok=sample.queue_depth_max <= slo.max_queue_depth,
+                value=float(sample.queue_depth_max),
+                threshold=float(slo.max_queue_depth),
+                detail=f"deepest single service queue at t={sample.t:.2f}s",
+            )
+        )
+    return checks
+
+
 class HealthProbe:
     """Periodic health sampler bound to one :class:`RoadsSystem`.
 
@@ -169,6 +223,15 @@ class HealthProbe:
         Staleness threshold forwarded to
         :meth:`UpdatePlane.staleness_snapshot` (None = the plane's
         default of 1.5 update intervals).
+    slo:
+        When set, every sample is additionally judged instantaneously
+        (:func:`judge_sample`); a check transitioning ok → fail appends
+        to :attr:`breaches` and fires ``on_breach`` exactly once per
+        transition (it re-arms only after the check recovers).
+    on_breach:
+        ``fn(check, sample)`` breach-transition hook — the flight
+        recorder's :meth:`~repro.telemetry.recorder.FlightRecorder.bind`
+        installs its postmortem trigger here.
     """
 
     def __init__(
@@ -177,13 +240,23 @@ class HealthProbe:
         *,
         interval: float = 1.0,
         stale_after: Optional[float] = None,
+        slo: Optional[HealthSLO] = None,
+        on_breach: Optional[
+            Callable[[HealthCheck, HealthSample], None]
+        ] = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.system = system
         self.interval = interval
         self.stale_after = stale_after
+        self.slo = slo
+        self.on_breach = on_breach
         self.samples: List[HealthSample] = []
+        #: checks captured at each ok → fail transition, in order
+        self.breaches: List[HealthCheck] = []
+        self._check_ok: Dict[str, bool] = {}
+        self._observing = False
         self._task = None
 
     # -- cadence ------------------------------------------------------------------
@@ -270,7 +343,37 @@ class HealthProbe:
                 stale_fraction=sample.stale_fraction,
                 coverage=sample.coverage,
             )
+        if self.slo is not None:
+            self.observe(sample)
         return sample
+
+    def observe(self, sample: HealthSample) -> List[HealthCheck]:
+        """Judge *sample* against the probe's SLO; fire breach hooks.
+
+        Each named check fires ``on_breach`` only on its ok → fail
+        transition — a check that keeps failing stays silent until it
+        recovers and fails again, so one incident yields one postmortem.
+        Returns the checks that transitioned to failing this call.
+        """
+        if self.slo is None or self._observing:
+            # A breach handler may take a fresh sample (e.g. to attach a
+            # report); that nested sample must not re-enter SLO judging
+            # and clobber the transition state mid-incident.
+            return []
+        self._observing = True
+        try:
+            fired: List[HealthCheck] = []
+            for check in judge_sample(sample, self.slo):
+                was_ok = self._check_ok.get(check.name, True)
+                self._check_ok[check.name] = check.ok
+                if was_ok and not check.ok:
+                    fired.append(check)
+                    self.breaches.append(check)
+                    if self.on_breach is not None:
+                        self.on_breach(check, sample)
+            return fired
+        finally:
+            self._observing = False
 
     # -- SLO evaluation --------------------------------------------------------------
     def report(self, slo: HealthSLO = HealthSLO()) -> HealthReport:

@@ -337,3 +337,60 @@ def critical_path(
         if deadline <= root.start:
             break
     return CriticalPath(leaf=leaf, root=root, segments=segments)
+
+
+def diff_critical_paths(
+    a: CriticalPath,
+    b: CriticalPath,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Side-by-side comparison of two critical paths.
+
+    Renders both paths' totals, the per-category
+    (wire/queue/service/processing) attribution with absolute deltas,
+    and the two hop chains aligned row-by-row — the answer to "these two
+    searches took different times: *where* did the extra milliseconds
+    go?". Powers ``repro trace --diff``.
+    """
+    width = max(len(label_a), len(label_b))
+    lines = [
+        f"{label_a:<{width}}  total {a.total * 1000:9.2f} ms over "
+        f"{len(a.segments)} hops (dominant: {a.dominant})",
+        f"{label_b:<{width}}  total {b.total * 1000:9.2f} ms over "
+        f"{len(b.segments)} hops (dominant: {b.dominant})",
+        f"{'delta':<{width}}        {(b.total - a.total) * 1000:+9.2f} ms",
+        "",
+        f"  {'category':<10} {label_a + ' ms':>10} {label_b + ' ms':>10} "
+        f"{'delta ms':>10}",
+    ]
+    by_a = a.by_category()
+    by_b = b.by_category()
+    for cat in PATH_CATEGORIES:
+        va = by_a.get(cat, 0.0) * 1000
+        vb = by_b.get(cat, 0.0) * 1000
+        lines.append(
+            f"  {cat:<10} {va:10.3f} {vb:10.3f} {vb - va:+10.3f}"
+        )
+    lines.append("")
+    name_w = max(
+        [len(f"{s.category}:{s.name}") for s in a.segments + b.segments]
+        + [len("(no hop)")]
+    )
+    lines.append(
+        f"  {label_a + ' hop':<{name_w + 14}} {label_b + ' hop'}"
+    )
+    for i in range(max(len(a.segments), len(b.segments))):
+        sa = a.segments[i] if i < len(a.segments) else None
+        sb = b.segments[i] if i < len(b.segments) else None
+        left = (
+            f"{sa.seconds * 1000:9.3f} ms  {sa.category}:{sa.name}"
+            if sa is not None else f"{'':>9}     (no hop)"
+        )
+        right = (
+            f"{sb.seconds * 1000:9.3f} ms  {sb.category}:{sb.name}"
+            if sb is not None else f"{'':>9}     (no hop)"
+        )
+        lines.append(f"  {left:<{name_w + 14}} {right}")
+    return "\n".join(lines)

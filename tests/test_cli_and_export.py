@@ -262,6 +262,33 @@ class TestTraceCLI:
         assert rc == 1
         assert "no causally-tagged events" in capsys.readouterr().out
 
+    def test_diff_critical_paths(self, artifact, capsys):
+        from repro.telemetry import assemble_traces, critical_path
+        from repro.telemetry.export import read_jsonl
+
+        trees = assemble_traces(read_jsonl(str(artifact)))
+        ids = [
+            tid for tid, tree in sorted(trees.items())
+            if critical_path(tree).segments
+        ]
+        assert len(ids) >= 2, "artifact has too few traced searches"
+        rc = main([
+            "trace", str(artifact), "--diff", str(ids[0]), str(ids[1]),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"trace {ids[0]}" in out and f"trace {ids[1]}" in out
+        assert "delta" in out
+        for category in ("wire", "queue", "service", "processing"):
+            assert category in out
+
+    def test_diff_unknown_trace(self, artifact, capsys):
+        rc = main([
+            "trace", str(artifact), "--diff", "999999998", "999999999",
+        ])
+        assert rc == 1
+        assert "not found" in capsys.readouterr().out
+
 
 class TestHealthCLI:
     """`repro health` builds a small sim and judges it against SLOs."""
@@ -281,3 +308,77 @@ class TestHealthCLI:
         assert {c["name"] for c in doc["checks"]} >= {
             "staleness", "coverage", "shedding", "loss"
         }
+
+
+class TestWatchCLI:
+    """`repro watch` runs a federation with the full observability
+    stack armed: series sampler, SLO probe, flight recorder."""
+
+    def _run(self, extra):
+        return main([
+            "watch", "--nodes", "16", "--records", "20",
+            "--queries", "10", "--rate", "20", "--duration", "2",
+            "--seed", "4",
+        ] + extra)
+
+    def test_sparkline_dashboard(self, capsys):
+        rc = self._run([])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "samples over" in out
+        assert "net.sent" in out and "sim.pending" in out
+        assert "postmortems captured:" in out
+
+    def test_csv_format_and_jsonl_export(self, tmp_path, capsys):
+        exported = tmp_path / "series.jsonl"
+        rc = self._run(["--format", "csv", "--export", str(exported)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metric,server,t,value" in out
+        from repro.telemetry.export import read_series_jsonl
+
+        rows = read_series_jsonl(exported)
+        assert rows
+        # A 2s run folds no 16-point rollup buckets yet — raw only.
+        assert {r["kind"] for r in rows} >= {"raw"}
+        assert {"metric", "server", "t", "value"} <= set(rows[0])
+
+    def test_lossy_run_breaches_and_dumps_postmortems(
+        self, tmp_path, capsys
+    ):
+        pm = tmp_path / "pm"
+        rc = self._run([
+            "--loss", "0.25", "--queue-limit", "8",
+            "--service-time", "0.004", "--postmortem-dir", str(pm),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLO breaches:" in out and "loss" in out
+        assert "postmortem bundle written to" in out
+        files = sorted(pm.glob("postmortem_*.json"))
+        assert files
+        # The companion verb renders what the recorder dumped.
+        rc = main(["postmortem", str(pm)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "postmortem: slo:" in out
+        assert "overlapping causal traces:" in out
+
+
+class TestPostmortemCLI:
+    def test_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["postmortem", str(tmp_path)])
+        assert rc == 1
+        assert "no postmortem bundles" in capsys.readouterr().out
+
+    def test_json_output_of_manual_bundle(self, tmp_path, capsys):
+        from repro.telemetry import FlightRecorder, Telemetry
+
+        tel = Telemetry()
+        recorder = FlightRecorder(tel, dump_dir=tmp_path)
+        tel.event("evidence", server=1)
+        recorder.trigger("slo:loss")
+        rc = main(["postmortem", str(recorder.dumped[0]), "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"reason": "slo:loss"' in out

@@ -9,7 +9,14 @@ import numpy as np
 import pytest
 
 from repro.query import Query, RangePredicate
-from repro.roads import DenyAllPolicy, GuestOwner, RoadsConfig, RoadsSystem, SearchRequest
+from repro.roads import (
+    DenyAllPolicy,
+    GuestOwner,
+    RetryPolicy,
+    RoadsConfig,
+    RoadsSystem,
+    SearchRequest,
+)
 from repro.summaries import SummaryConfig
 from repro.workload import (
     WorkloadConfig,
@@ -122,6 +129,87 @@ class TestGuestPolicy:
         # Still discovered and contacted, but the owner returns nothing:
         # voluntary sharing retains final control at the owner.
         assert guest_hits and guest_hits[0].match_count == 0
+
+
+class TestOwnerRetry:
+    """The guest-owner hop rides the client retry policy under loss."""
+
+    RETRY = RetryPolicy(timeout=0.5, retries=2, backoff_base=0.05)
+
+    def query(self):
+        return Query.of(RangePredicate("u0", 0.46, 0.54))
+
+    def _swallow(self, system, pred, *, first_n=None):
+        """Silently drop sends matching *pred* (the first ``first_n``,
+        or all of them), simulating loss on exactly that leg."""
+        net = system.network
+        real_send = net.send
+        swallowed = []
+
+        def send(src, dst, category, size, **kwargs):
+            if pred(src, dst, kwargs.get("kind")) and (
+                first_n is None or len(swallowed) < first_n
+            ):
+                swallowed.append(system.sim.now)
+                return None
+            return real_send(src, dst, category, size, **kwargs)
+
+        net.send = send
+        return swallowed
+
+    def test_lost_owner_query_is_retried(self, setup):
+        _, _, _, system = setup
+        swallowed = self._swallow(
+            system,
+            lambda src, dst, kind: dst == N and kind == "query",
+            first_n=1,
+        )
+        result = system.search(
+            SearchRequest(self.query(), client_node=0, retry=self.RETRY)
+        )
+        outcome = result.outcome
+        assert len(swallowed) == 1
+        assert result.ok
+        assert any(h.owner_id == "guest-co" for h in outcome.owner_hits)
+        assert N not in outcome.timed_out_servers
+        # The hit arrived only after a full client timeout + backoff.
+        assert outcome.arrivals[N] > outcome.started_at + self.RETRY.timeout
+
+    def test_silent_owner_leg_times_out_cleanly(self, setup):
+        _, _, _, system = setup
+        swallowed = self._swallow(
+            system, lambda src, dst, kind: dst == N and kind == "query"
+        )
+        result = system.search(
+            SearchRequest(self.query(), client_node=0, retry=self.RETRY)
+        )
+        outcome = result.outcome
+        # Initial attempt + `retries` re-sends, then the client gives up
+        # — the search still resolves instead of hanging forever.
+        assert len(swallowed) == 1 + self.RETRY.retries
+        assert outcome.completed
+        assert not result.ok
+        assert N in outcome.timed_out_servers
+        assert N not in outcome.arrivals
+        assert not any(h.owner_id == "guest-co" for h in outcome.owner_hits)
+
+    def test_lost_ack_retries_without_duplicate_hits(self, setup):
+        _, _, _, system = setup
+        swallowed = self._swallow(
+            system,
+            lambda src, dst, kind: src == N and kind == "query-ack",
+            first_n=1,
+        )
+        result = system.search(
+            SearchRequest(self.query(), client_node=0, retry=self.RETRY)
+        )
+        outcome = result.outcome
+        assert len(swallowed) == 1
+        assert result.ok
+        # The owner answered twice (original + retry) but the answer is
+        # recorded idempotently: exactly one guest hit.
+        hits = [h for h in outcome.owner_hits if h.owner_id == "guest-co"]
+        assert len(hits) == 1
 
 
 class TestStorageAccounting:

@@ -148,3 +148,25 @@ class TestNetwork:
         net.fail_node(2)
         assert net.is_failed(2)
         assert not net.is_failed(3)
+
+    def test_counters_snapshot_isolation(self):
+        # The series sampler stores counters() snapshots in ring buffers;
+        # a snapshot must stay frozen while the network keeps counting.
+        sim, ds, net = self._net()
+        net.register(1, lambda m: None)
+        net.send(0, 1, QUERY, 64)
+        sim.run()
+        before = net.counters()
+        assert before["sent"] == 1 and before["delivered"] == 1
+        net.fail_node(2)
+        net.send(0, 1, QUERY, 64)
+        net.send(0, 2, QUERY, 64)
+        sim.run()
+        after = net.counters()
+        assert after["sent"] == 3
+        assert after["dropped"] == 1
+        # The earlier snapshot is unaffected by later traffic, and
+        # mutating it never writes through to the live counters.
+        assert before["sent"] == 1 and before["dropped"] == 0
+        before["sent"] = 999
+        assert net.counters()["sent"] == 3

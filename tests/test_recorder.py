@@ -1,0 +1,259 @@
+"""Flight recorder: breach transitions, bundle round-trips, postmortems.
+
+SLO judging is edge-triggered: a check that fails fires exactly one
+postmortem and stays silent until it recovers and fails again. Bundles
+freeze the breach window's series, the per-server event rings and the
+overlapping causal trace trees, and round-trip through JSON.
+"""
+
+import pytest
+
+from repro.net.transport import ServiceConfig
+from repro.roads import RoadsConfig, RoadsSystem
+from repro.roads.search import RetryPolicy, SearchRequest
+from repro.summaries import SummaryConfig
+from repro.telemetry import (
+    FlightRecorder,
+    HealthProbe,
+    HealthSLO,
+    HealthSample,
+    PostmortemBundle,
+    SeriesConfig,
+    SeriesSampler,
+    Telemetry,
+)
+from repro.telemetry.probes import judge_sample
+from repro.workload import WorkloadConfig, generate_node_stores
+from repro.workload.queries import generate_queries
+
+SEED = 11
+NODES = 24
+
+
+def build_system(*, loss=0.0, telemetry=None, service=None, interval=1.0):
+    wcfg = WorkloadConfig(num_nodes=NODES, records_per_node=50, seed=SEED)
+    cfg = RoadsConfig(
+        num_nodes=NODES,
+        records_per_node=50,
+        max_children=4,
+        summary=SummaryConfig(histogram_buckets=200),
+        summary_interval=interval,
+        delta_updates=True,
+        loss_rate=loss,
+        seed=SEED,
+    )
+    system = RoadsSystem.build(
+        cfg, generate_node_stores(wcfg), telemetry=telemetry
+    )
+    if service is not None:
+        system.enable_service(service)
+    return system
+
+
+def sample(**overrides) -> HealthSample:
+    base = dict(
+        t=1.0, queue_depth_total=0, queue_depth_max=0, sent=100,
+        delivered=98, lost=2, dropped=0, shed=0, pending=3,
+        summary_entries=40, summary_age_mean=0.5, summary_age_max=1.0,
+        stale_fraction=0.0, coverage=1.0,
+    )
+    base.update(overrides)
+    return HealthSample(**base)
+
+
+class TestJudgeSample:
+    def test_healthy_sample_passes_every_check(self):
+        checks = judge_sample(sample(), HealthSLO())
+        assert checks and all(c.ok for c in checks)
+
+    def test_loss_check_fails_above_threshold(self):
+        checks = judge_sample(sample(lost=50), HealthSLO())
+        bad = [c for c in checks if not c.ok]
+        assert [c.name for c in bad] == ["loss"]
+
+    def test_queue_depth_check_is_opt_in(self):
+        names = {c.name for c in judge_sample(sample(), HealthSLO())}
+        assert "queue_depth" not in names
+        slo = HealthSLO(max_queue_depth=4)
+        checks = judge_sample(sample(queue_depth_max=9), slo)
+        assert any(c.name == "queue_depth" and not c.ok for c in checks)
+
+
+class TestTransitions:
+    """One incident → one postmortem, re-armed only after recovery."""
+
+    def _armed(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        probe = HealthProbe(system, slo=HealthSLO())
+        recorder = FlightRecorder(tel).bind(probe)
+        return probe, recorder
+
+    def test_fail_fires_exactly_once_until_recovery(self):
+        probe, recorder = self._armed()
+        fired = probe.observe(sample(lost=50))
+        assert [c.name for c in fired] == ["loss"]
+        assert len(recorder.bundles) == 1
+        assert recorder.bundles[0].reason == "slo:loss"
+        # Still failing: silent — no second bundle for the same incident.
+        assert probe.observe(sample(t=2.0, lost=60)) == []
+        assert len(recorder.bundles) == 1
+        # Recovery re-arms; nothing fires on the ok transition itself.
+        assert probe.observe(sample(t=3.0)) == []
+        # A fresh failure is a new incident: exactly one more bundle.
+        fired = probe.observe(sample(t=4.0, lost=50))
+        assert [c.name for c in fired] == ["loss"]
+        assert len(recorder.bundles) == 2
+        assert len(probe.breaches) == 2
+
+    def test_distinct_checks_fire_independently(self):
+        probe, recorder = self._armed()
+        probe.observe(sample(lost=50, stale_fraction=0.5))
+        assert sorted(c.name for c in probe.breaches) == [
+            "loss", "staleness",
+        ]
+        assert len(recorder.bundles) == 2
+
+    def test_bundle_carries_check_and_report(self):
+        probe, recorder = self._armed()
+        probe.observe(sample(lost=50))
+        bundle = recorder.bundles[0]
+        assert bundle.check["name"] == "loss"
+        assert not bundle.check["ok"]
+        assert bundle.report is not None
+        assert any(
+            c["name"] == "loss" for c in bundle.report["checks"]
+        )
+
+    def test_bind_sets_breach_hook(self):
+        tel = Telemetry()
+        system = build_system(telemetry=tel)
+        probe = HealthProbe(system, slo=HealthSLO())
+        assert probe.on_breach is None
+        recorder = FlightRecorder(tel).bind(probe)
+        assert probe.on_breach == recorder._on_breach
+
+
+class TestRecorderMechanics:
+    def test_ctor_validation(self):
+        tel = Telemetry()
+        with pytest.raises(ValueError, match="ring_size"):
+            FlightRecorder(tel, ring_size=0)
+        with pytest.raises(ValueError, match="window_before"):
+            FlightRecorder(tel, window_before=0.0)
+
+    def test_rings_attribute_events_per_server(self):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel, ring_size=4)
+        tel.event("a", server=3)
+        tel.event("b", dst=7)
+        tel.event("c")
+        assert [e.name for e in recorder.ring(3)] == ["a"]
+        assert [e.name for e in recorder.ring(7)] == ["b"]
+        assert [e.name for e in recorder.ring(None)] == ["c"]
+        assert recorder.ring_servers == [3, 7, None]
+        # Fixed-size: old events fall off the ring.
+        for i in range(10):
+            tel.event(f"x{i}", server=3)
+        assert len(recorder.ring(3)) == 4
+
+    def test_close_stops_recording(self):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel)
+        tel.event("before", server=1)
+        recorder.close()
+        tel.event("after", server=1)
+        assert [e.name for e in recorder.ring(1)] == ["before"]
+
+    def test_manual_trigger_without_sampler_or_probe(self):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel)
+        tel.event("evidence", server=2)
+        bundle = recorder.trigger()
+        assert bundle.reason == "manual"
+        assert bundle.series == []
+        assert bundle.ring_events == 1
+        assert "postmortem: manual" in bundle.format()
+
+    def test_dump_dir_writes_slugged_files(self, tmp_path):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel, dump_dir=tmp_path / "pm")
+        recorder.trigger("slo:loss")
+        recorder.trigger("weird reason!!")
+        names = [p.name for p in recorder.dumped]
+        assert names == [
+            "postmortem_001_slo-loss.json",
+            "postmortem_002_weird-reason.json",
+        ]
+        assert all(p.exists() for p in recorder.dumped)
+
+
+class TestBundleRoundTrip:
+    def test_dict_and_file_round_trips(self, tmp_path):
+        tel = Telemetry()
+        recorder = FlightRecorder(tel)
+        tel.event("evidence", server=4)
+        bundle = recorder.trigger(
+            "slo:loss",
+            check={"name": "loss", "ok": False, "value": 0.5,
+                   "threshold": 0.1, "detail": ""},
+        )
+        clone = PostmortemBundle.from_dict(bundle.to_dict())
+        assert clone.to_dict() == bundle.to_dict()
+        path = bundle.dump(tmp_path / "bundle.json")
+        loaded = PostmortemBundle.load(path)
+        assert loaded.to_dict() == bundle.to_dict()
+        assert loaded.ring_events == 1
+        assert "failing check: loss" in loaded.format()
+
+
+class TestEndToEnd:
+    """A lossy run breaches the SLO and auto-freezes a full bundle."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        tel = Telemetry()
+        system = build_system(
+            loss=0.18, telemetry=tel,
+            service=ServiceConfig(service_time=0.004, queue_limit=16),
+        )
+        sampler = SeriesSampler(system, SeriesConfig(interval=0.25)).start()
+        system.update_plane.start()
+        # Converge first so the breach fires amid query traffic, with
+        # the rings already holding causally-traced events.
+        system.sim.run(until=system.sim.now + 2.0)
+        probe = HealthProbe(system, interval=0.5, slo=HealthSLO()).start()
+        recorder = FlightRecorder(tel, sampler=sampler).bind(probe)
+        wcfg = WorkloadConfig(num_nodes=NODES, records_per_node=50, seed=SEED)
+        queries = generate_queries(wcfg, num_queries=12)
+        retry = RetryPolicy(timeout=1.0, retries=2, backoff_base=0.1)
+        system.search_many(
+            [
+                SearchRequest(q, client_node=i % NODES, retry=retry)
+                for i, q in enumerate(queries)
+            ],
+            arrivals=[0.05 * i for i in range(len(queries))],
+        )
+        system.sim.run(until=system.sim.now + 1.0)
+        assert probe.breaches, "injected loss never breached the SLO"
+        assert recorder.bundles
+        return recorder.bundles[0]
+
+    def test_bundle_has_breach_window_series(self, bundle):
+        assert bundle.series
+        assert any(s["raw"] for s in bundle.series)
+        for s in bundle.series:
+            for t, _ in s["raw"]:
+                assert bundle.window_start <= t <= bundle.window_end
+
+    def test_bundle_has_ring_events_and_traces(self, bundle):
+        assert bundle.ring_events > 0
+        assert bundle.traces
+        trees = bundle.trace_trees()
+        assert trees and len(trees[0]) > 0
+
+    def test_bundle_renders(self, bundle):
+        text = bundle.format()
+        assert "postmortem: slo:" in text
+        assert "overlapping causal traces:" in text
+        assert "FAIL" in text

@@ -64,7 +64,7 @@ class TestServiceConfig:
         stats = net.service_stats(3)
         assert stats == {
             "served": 0, "shed": 0, "depth": 0,
-            "max_depth": 0, "busy_seconds": 0.0,
+            "max_depth": 0, "busy_seconds": 0.0, "waiting": 0.0,
         }
 
 
