@@ -7,7 +7,8 @@ The subsystem behind ``python -m repro bench``:
 * :mod:`repro.bench.artifact` — the canonical ``BENCH_<scenario>.json``
   format (provenance stamp, paper-series rows, registry-derived
   simulated metrics, wall-clock section profile);
-* :mod:`repro.bench.profiler` — ``time.perf_counter`` section timers
+* :mod:`repro.bench.profiler` — back-compat flat view over the
+  hierarchical :class:`repro.telemetry.profiling.CallPathProfiler`
   threaded through the sim engine, transport, aggregation and query
   path (free when no profiler is attached);
 * :mod:`repro.bench.compare` — tolerance-banded artifact diffing plus
@@ -29,6 +30,7 @@ from .artifact import (
 from .compare import (
     DEFAULT_TOLERANCE,
     DEFAULT_WALL_TOLERANCE,
+    PROFILE_SHARE_FLOOR,
     ComparisonResult,
     MetricDelta,
     compare_artifacts,
@@ -41,6 +43,7 @@ from .scenarios import (
     SCENARIOS,
     Scenario,
     available_scenarios,
+    profile_scenario,
     resolve_scale,
     run_scenario,
     scale_settings,
@@ -68,6 +71,7 @@ __all__ = [
     "MetricDelta",
     "DEFAULT_TOLERANCE",
     "DEFAULT_WALL_TOLERANCE",
+    "PROFILE_SHARE_FLOOR",
     "compare_artifacts",
     "format_comparison",
     "WallClockProfiler",
@@ -76,6 +80,7 @@ __all__ = [
     "SCALES",
     "ROOT_SHARE_CEILING",
     "available_scenarios",
+    "profile_scenario",
     "resolve_scale",
     "run_scenario",
     "scale_settings",

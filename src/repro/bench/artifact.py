@@ -82,7 +82,14 @@ class BenchArtifact:
     wall: Dict[str, object]
     #: paper-shape check outcome: {"failures": [...]}
     shape: Dict[str, object]
+    #: hierarchical profile summary: hotspot self-time shares and the
+    #: event-census fingerprint (empty for pre-profile artifacts)
+    profile: Dict[str, object] = None  # type: ignore[assignment]
     schema: str = SCHEMA
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            self.profile = {}
 
     @property
     def ok(self) -> bool:
@@ -92,6 +99,7 @@ class BenchArtifact:
         doc = asdict(self)
         # Keep provenance keys first for readable diffs.
         ordered = {k: doc[k] for k in _REQUIRED_KEYS}
+        ordered["profile"] = doc["profile"]
         return ordered
 
     @classmethod
@@ -101,7 +109,11 @@ class BenchArtifact:
             raise ValueError(
                 "invalid bench artifact: " + "; ".join(problems)
             )
-        return cls(**{k: doc[k] for k in _REQUIRED_KEYS})
+        # ``profile`` is optional so pre-profiling-plane artifacts load.
+        return cls(
+            profile=doc.get("profile") or {},
+            **{k: doc[k] for k in _REQUIRED_KEYS},
+        )
 
 
 def validate_artifact(doc: Dict[str, object]) -> List[str]:
@@ -139,6 +151,10 @@ def validate_artifact(doc: Dict[str, object]) -> List[str]:
             problems.append(f"non-numeric metrics: {sorted(bad)[:5]}")
     if isinstance(doc["shape"], dict) and "failures" not in doc["shape"]:
         problems.append("shape block missing 'failures'")
+    if "profile" in doc and not isinstance(doc["profile"], dict):
+        problems.append(
+            f"profile must be dict, got {type(doc['profile']).__name__}"
+        )
     return problems
 
 

@@ -9,6 +9,15 @@ against a committed baseline:
 * **wall-clock metrics** (``wall.*``) are hardware-dependent and only
   fail in the *regression* direction (slower sections, lower
   events/sec), with a wide band (default 30%);
+* **hotspot shares** (``profile.share.*``, the hierarchical profiler's
+  self-time fractions) are host-speed independent ratios and fail only
+  when a section's share of total time *grows* beyond the wall band
+  plus an absolute floor (:data:`PROFILE_SHARE_FLOOR`), so tiny
+  sections can jitter but a genuine hot-path shift fails;
+* the **event-census fingerprint** (deliveries per message kind per
+  server) is deterministic per seed, so any mismatch between two
+  profiled artifacts is a hard failure — the dispatch mix changed, and
+  the baseline must be regenerated deliberately;
 * the scenario's **paper-shape invariants** are re-asserted on the
   current rows (ROADS below SWORD on latency, ROADS update bytes flat in
   records/node, overlay root-share under the ceiling), so a run that
@@ -32,6 +41,10 @@ DEFAULT_TOLERANCE = 0.05
 #: regression-only band for wall-clock metrics
 DEFAULT_WALL_TOLERANCE = 0.30
 
+#: absolute hotspot-share growth (in share points) always tolerated —
+#: keeps sub-percent sections from failing on timing jitter
+PROFILE_SHARE_FLOOR = 0.02
+
 #: wall metrics where *higher* is better (throughput rather than time)
 _HIGHER_IS_BETTER = frozenset({"wall.events_per_sec"})
 
@@ -54,9 +67,11 @@ class MetricDelta:
             "baseline": f"{self.baseline:.6g}",
             "current": f"{self.current:.6g}",
             "change": f"{self.rel_change:+.1%}",
-            "band": f"±{self.tolerance:.0%}" if not self.name.startswith(
-                "wall."
-            ) else f"+{self.tolerance:.0%}",
+            "band": (
+                f"+{self.tolerance:.0%}"
+                if self.name.startswith(("wall.", "profile.share."))
+                else f"±{self.tolerance:.0%}"
+            ),
             "ok": "ok" if self.ok else "FAIL",
         }
 
@@ -142,7 +157,14 @@ def compare_artifacts(
             continue
         cur_val = float(current.metrics[name])
         rel = _rel_change(base_val, cur_val)
-        if name.startswith("wall."):
+        if name.startswith("profile.share."):
+            # Regression-only on the share of total self time: a
+            # section may shrink freely; growth fails past the wall
+            # band, but never within the absolute floor.
+            tol = wall_tolerance
+            grew = cur_val - base_val
+            ok = grew <= max(PROFILE_SHARE_FLOOR, tol * base_val)
+        elif name.startswith("wall."):
             if not include_wall:
                 continue
             tol = wall_tolerance
@@ -157,6 +179,18 @@ def compare_artifacts(
                 name=name, baseline=base_val, current=cur_val,
                 rel_change=rel, tolerance=tol, ok=ok,
             )
+        )
+
+    # The event census is deterministic per seed: two profiled runs of
+    # the same configuration must deliver the same messages to the same
+    # servers. A mismatch means the dispatch mix itself changed.
+    fp_cur = (current.profile or {}).get("census_fingerprint")
+    fp_base = (baseline.profile or {}).get("census_fingerprint")
+    if fp_cur and fp_base and fp_cur != fp_base:
+        result.failures.append(
+            "profile census fingerprint mismatch "
+            f"(current={fp_cur} baseline={fp_base}); the event mix "
+            "changed — regenerate the baseline if intentional"
         )
 
     # Re-assert the paper-shape invariants on the *current* artifact.

@@ -1,112 +1,30 @@
-"""Wall-clock section profiler for the benchmark observatory.
+"""Back-compat shim over the hierarchical profiling plane.
 
-The telemetry spans measure *simulated* time; this profiler measures the
-*host* wall clock (``time.perf_counter``) spent inside named sections of
-the reproduction itself — engine dispatch, transport, aggregation,
-replication and the query path — so perf PRs have a hot-path map to
-optimize against.
-
-A :class:`WallClockProfiler` is attached to a
-:class:`~repro.telemetry.core.Telemetry` recorder via
-``tel.attach_profiler(...)`` **before** the system is built; the
-instrumented call sites hold a direct reference and guard every
-measurement with a single ``is not None`` check, so the disabled path
-(no profiler, the default) stays free.
-
-Sections may nest (``query.execute`` encloses the ``sim.dispatch`` time
-of its event loop), so per-section seconds are a hot-path map, not a
-disjoint partition of the total.
+The flat :class:`WallClockProfiler` used to accumulate seconds per
+section name independently, so nested sections double-counted:
+``query.execute`` encloses the ``sim.dispatch`` time of its event loop,
+and summing sections overshot the measured total. The real profiler now
+lives in :mod:`repro.telemetry.profiling` as a call-path tree;
+``WallClockProfiler`` remains as a subclass so existing call sites —
+``tel.attach_profiler(WallClockProfiler())``, ``section(...)`` /
+``add(...)`` / ``count(...)``, ``snapshot()``'s ``sections``/``counters``
+shape and the historical section names — keep working unchanged, while
+the numbers are now a flat projection of the tree: ``seconds`` counts
+only top-most occurrences of a name (no self-nesting double counts) and
+``self_seconds`` partitions the total exactly.
 """
 
 from __future__ import annotations
 
-from time import perf_counter
-from typing import Dict, Optional
+from ..telemetry.profiling import CallPathProfiler
 
 
-class _Section:
-    """Context manager timing one entry of a named section."""
+class WallClockProfiler(CallPathProfiler):
+    """Flat-view alias of :class:`~repro.telemetry.profiling.CallPathProfiler`.
 
-    __slots__ = ("_profiler", "_name", "_t0")
-
-    def __init__(self, profiler: "WallClockProfiler", name: str):
-        self._profiler = profiler
-        self._name = name
-        self._t0 = 0.0
-
-    def __enter__(self) -> "_Section":
-        self._t0 = perf_counter()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self._profiler.add(self._name, perf_counter() - self._t0)
+    Kept for the benchmark observatory's historical API; new code should
+    use :class:`CallPathProfiler` and the hierarchical ``document()``.
+    """
 
 
-class WallClockProfiler:
-    """Accumulates (calls, wall seconds) per named section."""
-
-    __slots__ = ("_calls", "_seconds", "_counters")
-
-    def __init__(self):
-        self._calls: Dict[str, int] = {}
-        self._seconds: Dict[str, float] = {}
-        #: plain event counters (e.g. simulator events processed)
-        self._counters: Dict[str, int] = {}
-
-    # -- recording ----------------------------------------------------------------
-    def section(self, name: str) -> _Section:
-        """``with profiler.section("net.send"): ...``"""
-        return _Section(self, name)
-
-    def add(self, name: str, seconds: float, calls: int = 1) -> None:
-        """Fold an already-measured interval into section *name*."""
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
-        self._calls[name] = self._calls.get(name, 0) + calls
-
-    def count(self, name: str, n: int = 1) -> None:
-        """Bump a plain counter (no timing attached)."""
-        self._counters[name] = self._counters.get(name, 0) + n
-
-    # -- read-out -----------------------------------------------------------------
-    def seconds(self, name: str) -> float:
-        return self._seconds.get(name, 0.0)
-
-    def calls(self, name: str) -> int:
-        return self._calls.get(name, 0)
-
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
-
-    @property
-    def section_names(self):
-        return sorted(self._seconds)
-
-    def events_per_second(
-        self, events: Optional[int] = None, section: str = "sim.dispatch"
-    ) -> float:
-        """Engine throughput: events processed per wall second.
-
-        *events* defaults to the ``sim.events`` counter maintained by the
-        instrumented :class:`~repro.sim.engine.Simulator`.
-        """
-        n = self.counter("sim.events") if events is None else events
-        secs = self.seconds(section)
-        return n / secs if secs > 0 else 0.0
-
-    def snapshot(self) -> Dict[str, object]:
-        """JSON-serialisable dump: per-section calls/seconds + counters."""
-        return {
-            "sections": {
-                name: {
-                    "calls": self._calls.get(name, 0),
-                    "seconds": self._seconds[name],
-                }
-                for name in sorted(self._seconds)
-            },
-            "counters": dict(sorted(self._counters.items())),
-        }
-
-    def reset(self) -> None:
-        self._calls.clear()
-        self._seconds.clear()
-        self._counters.clear()
+__all__ = ["WallClockProfiler"]

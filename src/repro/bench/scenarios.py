@@ -70,6 +70,7 @@ from ..experiments.validation import (
     validate_fig11,
     validate_load_plane,
 )
+from ..telemetry.profiling import hotspot_shares
 from .artifact import BenchArtifact, SCHEMA, stamp
 from .profiler import WallClockProfiler
 
@@ -398,6 +399,35 @@ def _rows_metrics(rows: Rows) -> Dict[str, float]:
     return out
 
 
+def profile_scenario(
+    name: str,
+    scale: str = "quick",
+    seed: int = 1,
+    *,
+    capacity: int = 200_000,
+) -> Dict[str, object]:
+    """Profile one scenario's canonical run; returns the full document.
+
+    The payload behind ``repro profile``: the call-path tree, counters
+    and event census from a :class:`~repro.telemetry.profiling.
+    CallPathProfiler` threaded through the instrumented canonical run.
+    Skips the paper-series driver — the canonical run is the part every
+    scenario shares and the part the dispatch hot-path map describes.
+    """
+    from ..telemetry.profiling import CallPathProfiler
+
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    settings = scale_settings(scale, seed)
+    profiler = CallPathProfiler()
+    _instrumented_block(settings, seed, profiler, capacity=capacity)
+    return profiler.document()
+
+
 def run_scenario(
     name: str,
     scale: str = "quick",
@@ -451,6 +481,7 @@ def run_scenario(
     })
 
     wall: Dict[str, object] = {}
+    prof_block: Dict[str, object] = {}
     if profiler is not None:
         wall = profiler.snapshot()
         wall["total_seconds"] = total_seconds
@@ -462,6 +493,23 @@ def run_scenario(
         metrics["wall.events_per_sec"] = wall["events_per_sec"]
         for section, stats in wall["sections"].items():
             metrics[f"wall.section.{section}.seconds"] = stats["seconds"]
+        # Hierarchical hot-path summary: self-time shares (the
+        # regression-gate currency — host-speed independent, unlike raw
+        # seconds) and the deterministic event-census fingerprint.
+        document = profiler.document()
+        shares = hotspot_shares(document)
+        prof_block = {
+            "schema": document["schema"],
+            "total_seconds": document["total_seconds"],
+            "hotspot_shares": shares,
+            "census_fingerprint": document["census_fingerprint"],
+            "census_kinds": {
+                kind: sum(per.values())
+                for kind, per in document["census"].items()
+            },
+        }
+        for section, share in shares.items():
+            metrics[f"profile.share.{section}"] = share
 
     return BenchArtifact(
         **stamp(name, scale, seed, settings),
@@ -474,5 +522,6 @@ def run_scenario(
             "validator": getattr(scenario.shape, "__name__", None),
             "failures": failures,
         },
+        profile=prof_block,
         schema=SCHEMA,
     )

@@ -16,6 +16,10 @@ code:
   committed baseline (non-zero exit on regression or paper-shape
   violation), ``trajectory`` to append/inspect the perf time series,
   ``list`` the registered scenarios;
+* ``profile`` — run a scenario's canonical run under the hierarchical
+  call-path profiler: top-K self-time table, optional tree view,
+  collapsed-stack / speedscope flame-graph exports, and ``--diff``
+  between two saved profile documents;
 * ``demo`` — a narrated quickstart run.
 """
 
@@ -550,6 +554,85 @@ def _cmd_bench_run(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .telemetry.profiling import (
+        PROFILE_SCHEMA,
+        collapsed_stacks,
+        diff_documents,
+        format_top,
+        format_tree,
+        hotspot_shares,
+        speedscope_document,
+    )
+
+    if args.diff:
+        path_a, path_b = args.diff
+        docs = []
+        for path in (path_a, path_b):
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+            if doc.get("schema") != PROFILE_SCHEMA:
+                print(
+                    f"{path}: not a {PROFILE_SCHEMA} document "
+                    "(produce one with `repro profile <scenario> --json`)"
+                )
+                return 2
+            docs.append(doc)
+        print(
+            diff_documents(
+                docs[0], docs[1],
+                label_a=path_a, label_b=path_b, k=args.top,
+            )
+        )
+        return 0
+
+    if args.scenario is None:
+        print("a scenario is required unless --diff is given "
+              "(see `repro bench list`)")
+        return 2
+    from .bench import profile_scenario
+
+    document = profile_scenario(
+        args.scenario, scale=args.scale, seed=args.seed
+    )
+    print(
+        f"== {args.scenario} ({args.scale} scale, seed {args.seed}): "
+        f"{document['total_seconds']:.3f}s profiled =="
+    )
+    print(format_top(document, k=args.top))
+    if args.tree:
+        print()
+        print(format_tree(document))
+    shares = hotspot_shares(document)
+    hot = sorted(shares.items(), key=lambda kv: -kv[1])[:4]
+    print(
+        "\nhotspots: "
+        + ", ".join(f"{name} {share:.1%}" for name, share in hot)
+        + f"; census fingerprint {document['census_fingerprint']}"
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"profile document written to {args.json}")
+    if args.collapsed:
+        Path(args.collapsed).write_text(
+            collapsed_stacks(document), encoding="utf-8"
+        )
+        print(f"collapsed stacks written to {args.collapsed}")
+    if args.speedscope:
+        Path(args.speedscope).write_text(
+            json.dumps(speedscope_document(
+                document, name=f"repro profile {args.scenario}"
+            )) + "\n",
+            encoding="utf-8",
+        )
+        print(f"speedscope profile written to {args.speedscope}")
+    return 0
+
+
 def _cmd_bench_compare(args) -> int:
     from .bench import compare_artifacts, format_comparison, load_artifact
 
@@ -823,6 +906,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     b = bench_sub.add_parser("list", help="list registered scenarios")
     b.set_defaults(fn=_cmd_bench_list)
+
+    p = sub.add_parser(
+        "profile",
+        help="hierarchical hot-path profile of a scenario's canonical "
+             "run, with flame-graph exports",
+    )
+    p.add_argument(
+        "scenario", nargs="?", choices=_bench_scenarios(),
+        help="scenario to profile (omit with --diff)",
+    )
+    p.add_argument("--scale", choices=_BENCH_SCALES, default="quick")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--top", type=int, default=15,
+                   help="rows in the self-time table (default 15)")
+    p.add_argument("--tree", action="store_true",
+                   help="also print the call-path tree")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the full profile document (diffable)")
+    p.add_argument("--collapsed", metavar="PATH",
+                   help="write Brendan Gregg collapsed stacks "
+                        "(flamegraph.pl input)")
+    p.add_argument("--speedscope", metavar="PATH",
+                   help="write a speedscope.app JSON profile")
+    p.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                   help="diff two --json profile documents instead of "
+                        "running a scenario")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("demo", help="run the narrated quickstart")
     p.add_argument(

@@ -20,7 +20,6 @@ Two execution modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Dict, Optional
 
 from ..sim.engine import PeriodicTask, Simulator
@@ -103,7 +102,8 @@ def aggregate_round(
         else None
     )
     prof = telemetry.profiler if telemetry is not None else None
-    wall_t0 = perf_counter() if prof is not None else 0.0
+    if prof is not None:
+        prof.enter("update.aggregate")
     export_bytes = refresh_owner_exports(hierarchy, config, now) if refresh_exports else 0
     if metrics is not None and export_bytes:
         metrics.record_message(UPDATE, export_bytes, phase="export")
@@ -146,7 +146,7 @@ def aggregate_round(
 
     visit(hierarchy.root)
     if prof is not None:
-        prof.add("update.aggregate", perf_counter() - wall_t0)
+        prof.exit()
     if span is not None:
         span.annotate(
             bytes=export_bytes + agg_bytes,
@@ -313,7 +313,7 @@ class PeriodicAggregation:
         self.rounds = 0
         self.last_report: Optional[AggregationReport] = None
         self._task: Optional[PeriodicTask] = sim.schedule_periodic(
-            interval, self._round, first_delay=0.0
+            interval, self._round, first_delay=0.0, label="update.round"
         )
 
     def _round(self) -> None:

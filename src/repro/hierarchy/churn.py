@@ -80,11 +80,11 @@ class ChurnProcess:
     # -- scheduling ----------------------------------------------------------------
     def _schedule_failure(self, server: Server) -> None:
         delay = float(self.rng.exponential(self.config.mean_time_to_failure))
-        self.sim.schedule(delay, lambda s=server: self._crash(s))
+        self.sim.schedule(delay, lambda s=server: self._crash(s), "churn.fail")
 
     def _schedule_recovery(self, server: Server) -> None:
         delay = float(self.rng.exponential(self.config.mean_time_to_recovery))
-        self.sim.schedule(delay, lambda s=server: self._recover(s))
+        self.sim.schedule(delay, lambda s=server: self._recover(s), "churn.recover")
 
     def stop(self) -> None:
         self._stopped = True

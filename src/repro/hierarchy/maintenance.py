@@ -105,12 +105,14 @@ class MaintenanceProtocol:
         for server in hierarchy:
             self._register(server)
         self._beat_task = sim.schedule_periodic(
-            config.heartbeat_interval, self._send_heartbeats, first_delay=0.0
+            config.heartbeat_interval, self._send_heartbeats,
+            first_delay=0.0, label="maint.heartbeat",
         )
         self._check_task = sim.schedule_periodic(
             config.check_interval,
             self._check_failures,
             first_delay=config.failure_timeout,
+            label="maint.check",
         )
 
     def _event(self, name: str, **tags) -> None:

@@ -26,7 +26,6 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from ..sim.engine import Simulator
@@ -134,6 +133,7 @@ class _ServiceQueue:
             self.net.sim.schedule(
                 cfg.service_time,
                 lambda: self._finish(msg, run, on_dropped, serve_ctx, now),
+                self._label(msg),
             )
         depth = self.depth
         if depth > self.max_depth:
@@ -191,9 +191,16 @@ class _ServiceQueue:
                 lambda: self._finish(
                     nxt_msg, nxt_run, nxt_dropped, serve_ctx, now
                 ),
+                self._label(nxt_msg),
             )
         else:
             self.busy = False
+
+    def _label(self, msg: "Message") -> Optional[str]:
+        """Profiling label for a service-completion event (None unprofiled)."""
+        if self.net._profiler is None:
+            return None
+        return "service.serve:" + (msg.kind or msg.category)
 
 
 @dataclass(frozen=True)
@@ -276,6 +283,10 @@ class Network:
         self.sent = 0
         #: handler invocations (post queue/service when configured)
         self.delivered = 0
+        #: handler invocations per message kind (category when kindless);
+        #: always maintained — the time-series plane samples it as the
+        #: dispatch-mix gauge family and it never touches the simulation
+        self.delivered_by_kind: Dict[str, int] = {}
         #: causal context of the delivery currently being handled; valid
         #: only for the duration of a handler call — receivers fork it
         #: for the sends they make in response.
@@ -394,13 +405,13 @@ class Network:
             return self._send(src, dst, category, size_bytes, payload,
                               on_delivery, phase, kind, on_dropped,
                               on_rejected, trace)
-        t0 = perf_counter()
+        prof.enter("net.send")
         try:
             return self._send(src, dst, category, size_bytes, payload,
                               on_delivery, phase, kind, on_dropped,
                               on_rejected, trace)
         finally:
-            prof.add("net.send", perf_counter() - t0)
+            prof.exit()
 
     def _send(
         self,
@@ -499,11 +510,21 @@ class Network:
                     server=src, phase="reject",
                 )
                 back = self.delay_space.latency(dst, src) + self.processing_delay
-                self.sim.schedule(back, lambda: on_rejected(msg))
+                self.sim.schedule(
+                    back, lambda: on_rejected(msg),
+                    None if self._profiler is None else "net.reject",
+                )
             if on_dropped is not None:
                 on_dropped(msg, "shed")
 
-        self.sim.schedule(delay, deliver)
+        # The event label names the delivery frame by message kind so
+        # the profiler's call-path tree splits dispatch time per
+        # protocol; computed only under a profiler (None otherwise).
+        self.sim.schedule(
+            delay, deliver,
+            None if self._profiler is None
+            else "net.deliver:" + (kind or category),
+        )
         return msg
 
     def counters(self) -> Dict[str, int]:
@@ -530,16 +551,20 @@ class Network:
         ctx: Optional[TraceContext] = None,
     ) -> None:
         self.delivered += 1
+        mix = msg.kind or msg.category
+        by_kind = self.delivered_by_kind
+        by_kind[mix] = by_kind.get(mix, 0) + 1
         self.delivery_trace = ctx if ctx is not None else msg.trace
         prof = self._profiler
         try:
             if prof is None:
                 handler(msg)
                 return
-            t0 = perf_counter()
+            prof.census(mix, msg.dst)
+            prof.enter("net.deliver")
             try:
                 handler(msg)
             finally:
-                prof.add("net.deliver", perf_counter() - t0)
+                prof.exit()
         finally:
             self.delivery_trace = None

@@ -16,7 +16,6 @@ reproduces the paper's ``O(k·n·log n)`` replication message term.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Dict, List, Optional, Set
 
 from ..sim.metrics import UPDATE, MetricsCollector
@@ -114,7 +113,8 @@ class ReplicationOverlay:
             else None
         )
         prof = telemetry.profiler if telemetry is not None else None
-        wall_t0 = perf_counter() if prof is not None else 0.0
+        if prof is not None:
+            prof.enter("update.replicate")
         # Compute each server's branch and local summaries once.
         branch: Dict[int, Optional[ResourceSummary]] = {}
         local: Dict[int, Optional[ResourceSummary]] = {}
@@ -181,7 +181,7 @@ class ReplicationOverlay:
                 ship(server, "local", anc.server_id, summary,
                      server.replicated_local_summaries)
         if prof is not None:
-            prof.add("update.replicate", perf_counter() - wall_t0)
+            prof.exit()
         if span is not None:
             span.annotate(
                 bytes=total_bytes, messages=messages,

@@ -312,7 +312,9 @@ class QueryExecution:
                 on_rejected=rejected,
                 trace=msg_ctx,
             )
-            state["timeout_event"] = self.sim.schedule(self.timeout, expire)
+            state["timeout_event"] = self.sim.schedule(
+                self.timeout, expire, "query.timeout"
+            )
 
         def retry_or_give_up(terminal: str) -> None:
             if state["attempts"] <= self.retries:
@@ -321,7 +323,7 @@ class QueryExecution:
                 if delay > 0:
                     self.sim.schedule(delay, lambda: (
                         attempt() if not state["replied"] else None
-                    ))
+                    ), "query.retry")
                 else:
                     attempt()
                 return
@@ -560,7 +562,9 @@ class QueryExecution:
                 on_rejected=rejected,
                 trace=msg_ctx,
             )
-            state["timeout_event"] = self.sim.schedule(self.timeout, expire)
+            state["timeout_event"] = self.sim.schedule(
+                self.timeout, expire, "query.timeout"
+            )
 
         def retry_or_give_up(terminal: str) -> None:
             if state["attempts"] <= self.retries:
@@ -571,7 +575,7 @@ class QueryExecution:
                 if delay > 0:
                     self.sim.schedule(delay, lambda: (
                         attempt() if not state["replied"] else None
-                    ))
+                    ), "query.retry")
                 else:
                     attempt()
                 return

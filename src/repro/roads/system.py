@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -345,7 +344,11 @@ class RoadsSystem:
         )
         tel = self.telemetry
         prof = tel.profiler if tel is not None else None
-        wall_t0 = perf_counter() if prof is not None else 0.0
+        # The query frame opens *around* the dispatch loop the execution
+        # drives, so in the call-path tree query-time decomposes into the
+        # labeled events processed on this query's behalf.
+        if prof is not None:
+            prof.enter("query.execute")
         span = (
             tel.span(
                 "query.execute",
@@ -364,14 +367,15 @@ class RoadsSystem:
             if span is not None:
                 span.close()
             raise
+        finally:
+            if prof is not None:
+                prof.exit()
         if span is not None:
             span.annotate(
                 servers=outcome.servers_contacted,
                 matches=outcome.total_matches,
             )
             span.close()
-        if prof is not None:
-            prof.add("query.execute", perf_counter() - wall_t0)
         self.metrics.registry.observe(
             "query.latency", outcome.latency, server=start
         )
@@ -463,7 +467,7 @@ class RoadsSystem:
             def launch(i=i, req=req) -> None:
                 pendings[i] = self.submit(req)
 
-            self.sim.schedule(at, launch)
+            self.sim.schedule(at, launch, "query.submit")
         while (
             any(p is None or not p.done for p in pendings) and self.sim.step()
         ):

@@ -36,7 +36,6 @@ make ``update_bytes_per_epoch()`` change subsequent epochs is gone.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from time import perf_counter
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -209,6 +208,17 @@ class UpdatePlane:
             self.counters.dropped += 1
 
     def _on_update(self, msg: Message) -> None:
+        prof = self._profiler
+        if prof is None:
+            self._install(msg)
+            return
+        prof.enter("update.install")
+        try:
+            self._install(msg)
+        finally:
+            prof.exit()
+
+    def _install(self, msg: Message) -> None:
         self._inflight -= 1
         c = self.counters
         try:
@@ -254,45 +264,51 @@ class UpdatePlane:
 
     def _export_to_parent(self, server: Server, *, force_full: bool = False) -> None:
         prof = self._profiler
-        t0 = perf_counter() if prof is not None else 0.0
-        built = self._exporter(server).build_update(
-            self.sim.now, force_full=force_full
-        )
-        if built is not None:
-            update, size = built
-            c = self.counters
-            c.aggregation_bytes += size
-            c.aggregation_messages += 1
-            if update.summary is None and update.fingerprint is not None:
-                c.keepalive_reports += 1
-            elif update.summary is not None:
-                c.full_reports += 1
-            self._send_update(
-                server.server_id, server.parent.server_id,
-                update, size, "aggregate",
-            )
         if prof is not None:
-            prof.add("update.aggregate", perf_counter() - t0)
+            prof.enter("update.aggregate")
+        try:
+            built = self._exporter(server).build_update(
+                self.sim.now, force_full=force_full
+            )
+            if built is not None:
+                update, size = built
+                c = self.counters
+                c.aggregation_bytes += size
+                c.aggregation_messages += 1
+                if update.summary is None and update.fingerprint is not None:
+                    c.keepalive_reports += 1
+                elif update.summary is not None:
+                    c.full_reports += 1
+                self._send_update(
+                    server.server_id, server.parent.server_id,
+                    update, size, "aggregate",
+                )
+        finally:
+            if prof is not None:
+                prof.exit()
 
     def _push_replicas(self, server: Server, *, force_full: bool = False) -> None:
         prof = self._profiler
-        t0 = perf_counter() if prof is not None else 0.0
-        pushes = self._pusher(server).build_updates(
-            self.sim.now, force_full=force_full
-        )
-        c = self.counters
-        for holder_id, update, size in pushes:
-            c.replication_bytes += size
-            c.replication_messages += 1
-            if update.summary is None:
-                c.keepalive_sends += 1
-            else:
-                c.full_sends += 1
-            self._send_update(
-                server.server_id, holder_id, update, size, "replicate"
-            )
         if prof is not None:
-            prof.add("update.replicate", perf_counter() - t0)
+            prof.enter("update.replicate")
+        try:
+            pushes = self._pusher(server).build_updates(
+                self.sim.now, force_full=force_full
+            )
+            c = self.counters
+            for holder_id, update, size in pushes:
+                c.replication_bytes += size
+                c.replication_messages += 1
+                if update.summary is None:
+                    c.keepalive_sends += 1
+                else:
+                    c.full_sends += 1
+                self._send_update(
+                    server.server_id, holder_id, update, size, "replicate"
+                )
+        finally:
+            if prof is not None:
+                prof.exit()
 
     # -- coordinated epochs (refresh() compatibility) ------------------------------
     def _schedule(self, delay: float, fn) -> None:
@@ -303,7 +319,10 @@ class UpdatePlane:
             self._inflight -= 1
             fn()
 
-        self.sim.schedule(delay, step)
+        self.sim.schedule(
+            delay, step,
+            None if self._profiler is None else "update.epoch",
+        )
 
     def _cascade_stagger(self) -> float:
         """Per-level slot width: every report lands within one slot.
@@ -422,6 +441,7 @@ class UpdatePlane:
                 first_delay=first,
                 jitter=jitter,
                 rng=self._rng,
+                label=None if self._profiler is None else "update.tick",
             )
 
     def stop(self) -> None:

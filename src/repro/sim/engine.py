@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 
@@ -21,14 +20,24 @@ class SimulationError(RuntimeError):
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "fired", "_sim")
+    __slots__ = ("time", "seq", "fn", "cancelled", "fired", "label", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None], sim=None):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[[], None],
+        sim=None,
+        label: Optional[str] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
         self.fired = False
+        #: profiling frame name for this event's handler (None = generic);
+        #: schedule sites only pay for it when a profiler is attached
+        self.label = label
         self._sim = sim
 
     def cancel(self) -> None:
@@ -56,9 +65,13 @@ class Simulator:
         # Live (not-yet-fired, not-cancelled) event count, maintained on
         # schedule/cancel/fire so ``pending`` never scans the heap.
         self._pending = 0
-        #: optional wall-clock profiler; when set, dispatch time is
-        #: accumulated under ``sim.dispatch`` and processed events under
-        #: the ``sim.events`` counter (None keeps the hot path free).
+        #: optional call-path profiler
+        #: (:class:`repro.telemetry.profiling.CallPathProfiler`); when
+        #: set, the dispatch loop opens a ``sim.dispatch`` frame, every
+        #: handler invocation gets a child frame named after its event
+        #: label (``sim.event`` when unlabeled), and processed events
+        #: land in the ``sim.events`` counter. ``None`` (the default)
+        #: keeps the hot path free — the unprofiled loop is untouched.
         self.profiler = None
 
     @property
@@ -76,18 +89,32 @@ class Simulator:
         """Number of events executed so far."""
         return self._processed
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run *fn* at ``now + delay``; returns a cancellable handle."""
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> Event:
+        """Run *fn* at ``now + delay``; returns a cancellable handle.
+
+        *label* names the handler's profiling frame; pass it only when a
+        profiler is attached (it is dead weight otherwise).
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(self._now + delay, next(self._seq), fn, self)
+        ev = Event(self._now + delay, next(self._seq), fn, self, label)
         heapq.heappush(self._queue, ev)
         self._pending += 1
         return ev
 
-    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[[], None],
+        label: Optional[str] = None,
+    ) -> Event:
         """Run *fn* at absolute virtual *time* (must be >= now)."""
-        return self.schedule(time - self._now, fn)
+        return self.schedule(time - self._now, fn, label)
 
     def schedule_periodic(
         self,
@@ -97,11 +124,12 @@ class Simulator:
         first_delay: Optional[float] = None,
         jitter: float = 0.0,
         rng=None,
+        label: Optional[str] = None,
     ) -> "PeriodicTask":
         """Run *fn* every *interval* seconds until the task is stopped."""
         if interval <= 0:
             raise SimulationError("interval must be positive")
-        task = PeriodicTask(self, interval, fn, jitter=jitter, rng=rng)
+        task = PeriodicTask(self, interval, fn, jitter=jitter, rng=rng, label=label)
         task.start(first_delay if first_delay is not None else interval)
         return task
 
@@ -111,8 +139,8 @@ class Simulator:
         Returns the number of events processed by this call. The clock is
         advanced to *until* when given, even if the queue drains earlier.
         """
-        prof = self.profiler
-        t0 = perf_counter() if prof is not None else 0.0
+        if self.profiler is not None:
+            return self._run_profiled(until, max_events)
         processed = 0
         while self._queue:
             ev = self._queue[0]
@@ -132,48 +160,103 @@ class Simulator:
             self._processed += 1
         if until is not None and self._now < until:
             self._now = until
-        if prof is not None:
-            prof.add("sim.dispatch", perf_counter() - t0)
+        return processed
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> int:
+        """The :meth:`run` loop under a ``sim.dispatch`` frame.
+
+        Every handler invocation opens a child frame named after its
+        event's schedule-site label, so the dispatch loop's wall time
+        decomposes by event kind and plane in the call-path tree.
+        """
+        prof = self.profiler
+        processed = 0
+        prof.enter("sim.dispatch")
+        try:
+            while self._queue:
+                ev = self._queue[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if ev.cancelled:
+                    continue
+                if max_events is not None and processed >= max_events:
+                    heapq.heappush(self._queue, ev)
+                    break
+                self._now = ev.time
+                ev.fired = True
+                self._pending -= 1
+                prof.enter(ev.label or "sim.event")
+                try:
+                    ev.fn()
+                finally:
+                    prof.exit()
+                processed += 1
+                self._processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            prof.exit()
             prof.count("sim.events", processed)
         return processed
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
         prof = self.profiler
-        t0 = perf_counter() if prof is not None else 0.0
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fired = True
-            self._pending -= 1
-            ev.fn()
-            self._processed += 1
-            if prof is not None:
-                prof.add("sim.dispatch", perf_counter() - t0)
-                prof.count("sim.events")
-            return True
         if prof is not None:
-            prof.add("sim.dispatch", perf_counter() - t0)
-        return False
+            prof.enter("sim.dispatch")
+        try:
+            while self._queue:
+                ev = heapq.heappop(self._queue)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                ev.fired = True
+                self._pending -= 1
+                if prof is None:
+                    ev.fn()
+                else:
+                    prof.enter(ev.label or "sim.event")
+                    try:
+                        ev.fn()
+                    finally:
+                        prof.exit()
+                        prof.count("sim.events")
+                self._processed += 1
+                return True
+            return False
+        finally:
+            if prof is not None:
+                prof.exit()
 
 
 class PeriodicTask:
     """Repeating event created by :meth:`Simulator.schedule_periodic`."""
 
-    def __init__(self, sim: Simulator, interval: float, fn, *, jitter: float = 0.0, rng=None):
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn,
+        *,
+        jitter: float = 0.0,
+        rng=None,
+        label: Optional[str] = None,
+    ):
         self._sim = sim
         self._interval = interval
         self._fn = fn
         self._jitter = jitter
         self._rng = rng
+        self._label = label
         self._event: Optional[Event] = None
         self._stopped = False
         self.fired = 0
 
     def start(self, first_delay: float) -> None:
-        self._event = self._sim.schedule(first_delay, self._tick)
+        self._event = self._sim.schedule(first_delay, self._tick, self._label)
 
     def _next_delay(self) -> float:
         if self._jitter and self._rng is not None:
@@ -186,7 +269,9 @@ class PeriodicTask:
         self.fired += 1
         self._fn()
         if not self._stopped:
-            self._event = self._sim.schedule(self._next_delay(), self._tick)
+            self._event = self._sim.schedule(
+                self._next_delay(), self._tick, self._label
+            )
 
     def stop(self) -> None:
         self._stopped = True

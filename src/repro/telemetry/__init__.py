@@ -28,6 +28,9 @@ latency distributions. It has three cooperating pieces:
 * flight recorder — :class:`FlightRecorder` per-server event rings that
   freeze SLO breaches into :class:`PostmortemBundle` evidence windows
   (:mod:`repro.telemetry.recorder`).
+* profiling — :class:`CallPathProfiler` hierarchical dual-clock
+  hot-path attribution with collapsed-stack / speedscope exporters and
+  hotspot diffing (:mod:`repro.telemetry.profiling`).
 
 When no telemetry is attached (the default), instrumented code paths
 skip all recording; :data:`NULL_TELEMETRY` is a shared no-op recorder
@@ -48,6 +51,21 @@ from .export import (
     write_jsonl,
     write_prometheus,
     write_series_jsonl,
+)
+from .profiling import (
+    CallPathProfiler,
+    PROFILE_SCHEMA,
+    census_fingerprint,
+    collapsed_stacks,
+    diff_documents,
+    flatten_document,
+    format_top,
+    format_tree,
+    hotspot_shares,
+    parse_collapsed,
+    parse_speedscope,
+    speedscope_document,
+    top_frames,
 )
 from .probes import (
     HealthCheck,
@@ -122,4 +140,17 @@ __all__ = [
     "write_series_jsonl",
     "FlightRecorder",
     "PostmortemBundle",
+    "CallPathProfiler",
+    "PROFILE_SCHEMA",
+    "census_fingerprint",
+    "collapsed_stacks",
+    "diff_documents",
+    "flatten_document",
+    "format_top",
+    "format_tree",
+    "hotspot_shares",
+    "parse_collapsed",
+    "parse_speedscope",
+    "speedscope_document",
+    "top_frames",
 ]

@@ -137,11 +137,20 @@ class Telemetry:
     # -- clock ----------------------------------------------------------------
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self._clock = clock
+        # Keep the profiler's virtual clock in sync so its dual-clock
+        # columns read sim time once the simulator exists.
+        if self.profiler is not None:
+            bind = getattr(self.profiler, "bind_clock", None)
+            if bind is not None:
+                bind(clock)
 
     # -- wall-clock profiling ------------------------------------------------------
     def attach_profiler(self, profiler) -> None:
         """Install a wall-clock section profiler (call before ``build``)."""
         self.profiler = profiler
+        bind = getattr(profiler, "bind_clock", None)
+        if bind is not None and getattr(profiler, "_clock", None) is None:
+            bind(self._clock)
 
     @property
     def now(self) -> float:

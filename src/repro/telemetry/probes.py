@@ -264,7 +264,8 @@ class HealthProbe:
         """Begin sampling every ``interval`` sim-seconds (jitter-free)."""
         if self._task is None:
             self._task = self.system.sim.schedule_periodic(
-                self.interval, self.sample, first_delay=self.interval
+                self.interval, self.sample, first_delay=self.interval,
+                label="telemetry.probe",
             )
         return self
 

@@ -241,6 +241,7 @@ class SeriesSampler:
             self._task = self.system.sim.schedule_periodic(
                 self.config.interval, self.sample,
                 first_delay=self.config.interval,
+                label="telemetry.sample",
             )
         return self
 
@@ -292,6 +293,13 @@ class SeriesSampler:
         record = self._ring
         for key, value in counters.items():
             record(f"net.{key}").append(now, value)
+        # Dispatch mix: cumulative handler invocations per message kind,
+        # read from the transport's always-on per-kind counters — a
+        # ``repro watch`` sparkline per kind, no profiler required.
+        for kind in sorted(net.delivered_by_kind):
+            record(f"dispatch.{kind}").append(
+                now, net.delivered_by_kind[kind]
+            )
         record("sim.pending").append(now, system.sim.pending)
         registry = system.metrics.registry
         from ..sim.metrics import QUERY, UPDATE

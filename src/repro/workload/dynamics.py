@@ -63,7 +63,7 @@ class RecordDynamics:
         self.epochs = 0
         self.records_changed = 0
         self._task: PeriodicTask = sim.schedule_periodic(
-            config.record_interval, self.step
+            config.record_interval, self.step, label="workload.churn"
         )
 
     def stop(self) -> None:
@@ -76,7 +76,8 @@ class RecordDynamics:
     def resume(self) -> None:
         if self._task.stopped:
             self._task = self.sim.schedule_periodic(
-                self.config.record_interval, self.step
+                self.config.record_interval, self.step,
+                label="workload.churn",
             )
 
     # -- mutation ----------------------------------------------------------------
