@@ -3,7 +3,10 @@
 The subsystem behind ``python -m repro bench``:
 
 * :mod:`repro.bench.scenarios` — a registry wrapping the figure drivers
-  behind a uniform ``run_scenario(name, scale) -> BenchArtifact`` API;
+  behind a uniform ``run_scenario(RunPlan) -> BenchArtifact`` API;
+* :mod:`repro.bench.parallel` — the process-pool sweep runner: plan
+  fan-out with deterministic artifact merging, plus the ``stress``
+  scale's shard sweep;
 * :mod:`repro.bench.artifact` — the canonical ``BENCH_<scenario>.json``
   format (provenance stamp, paper-series rows, registry-derived
   simulated metrics, wall-clock section profile);
@@ -36,11 +39,21 @@ from .compare import (
     compare_artifacts,
     format_comparison,
 )
+from .parallel import (
+    SWEEP_SCHEMA,
+    comparable_dict,
+    default_workers,
+    merge_artifacts,
+    run_plans,
+    seed_sweep,
+    stress_shard_rows,
+)
 from .profiler import WallClockProfiler
 from .scenarios import (
     ROOT_SHARE_CEILING,
     SCALES,
     SCENARIOS,
+    RunPlan,
     Scenario,
     available_scenarios,
     profile_scenario,
@@ -75,6 +88,14 @@ __all__ = [
     "compare_artifacts",
     "format_comparison",
     "WallClockProfiler",
+    "SWEEP_SCHEMA",
+    "comparable_dict",
+    "default_workers",
+    "merge_artifacts",
+    "run_plans",
+    "seed_sweep",
+    "stress_shard_rows",
+    "RunPlan",
     "Scenario",
     "SCENARIOS",
     "SCALES",

@@ -1,7 +1,15 @@
-"""Scenario registry: uniform ``run(scenario, scale) -> BenchArtifact``.
+"""Scenario registry: uniform ``run_scenario(RunPlan) -> BenchArtifact``.
 
 Wraps the existing figure drivers (:mod:`repro.experiments.figures`) and
-the instrumented overlay/load scenario behind one API. Every run:
+the instrumented overlay/load scenario behind one API. The canonical
+input is a :class:`RunPlan` — one frozen object carrying the scenario,
+scale, seed, sweep overrides, profiling switches and parallelism — that
+:func:`run_scenario`, :func:`profile_scenario` and the process-pool
+runner (:mod:`repro.bench.parallel`) all accept. The historical
+``run_scenario(name, scale=..., seed=...)`` signatures survive as
+``DeprecationWarning`` shims producing same-seed-identical artifacts.
+
+Every run:
 
 * executes the scenario's driver at the requested scale (the paper
   series rows),
@@ -18,15 +26,18 @@ and returns a provenance-stamped :class:`~repro.bench.artifact.
 BenchArtifact` ready for ``BENCH_<scenario>.json``.
 
 Scales: ``smoke`` (unit-test sized), ``quick`` (CI-sized, the
-EXPERIMENTS.md default) and ``paper`` (full Section V), selected
-explicitly or via the ``REPRO_BENCH_SCALE`` environment variable.
+EXPERIMENTS.md default), ``paper`` (full Section V) and ``stress`` (a
+sharded 10^5-server / 10^6-record federation fanned out through the
+parallel runner), selected explicitly or via the ``REPRO_BENCH_SCALE``
+environment variable.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import asdict, dataclass
+import warnings
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..experiments.config import (
@@ -75,7 +86,7 @@ from .artifact import BenchArtifact, SCHEMA, stamp
 from .profiler import WallClockProfiler
 
 #: allowed benchmark scales, smallest first
-SCALES = ("smoke", "quick", "paper")
+SCALES = ("smoke", "quick", "paper", "stress")
 
 #: root-load share the overlay must stay under (the paper's Fig. 5/7
 #: bottleneck argument: replicated start servers spread the entry load)
@@ -109,6 +120,20 @@ def scale_settings(scale: str, seed: int = 1) -> ExperimentSettings:
         )
     if scale == "smoke":
         return ExperimentSettings.smoke().with_(seed=seed)
+    if scale == "stress":
+        # Per-shard settings: the stress federation is ~100 shards of
+        # 1000 servers x 10 records each (10^5 servers / 10^6 records
+        # total), fanned out through the parallel runner. Coarse
+        # histograms are deliberate — with 10 records per node the
+        # default 1000-bucket resolution is pure overhead.
+        return ExperimentSettings(
+            num_nodes=1000,
+            records_per_node=10,
+            num_queries=20,
+            runs=1,
+            histogram_buckets=100,
+            seed=seed,
+        )
     raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
 
 
@@ -150,6 +175,23 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "load_rates": (5.0, 60.0),
             "load_horizon": 6.0,
         }
+    if scale == "stress":
+        # Single-point sweeps at the per-shard size, plus the shard
+        # fan-out width. REPRO_STRESS_SHARDS bounds CI smokes without
+        # touching the committed full-width baseline.
+        return {
+            "nodes": (1000,),
+            "dims": (6,),
+            "records": (10,),
+            "overlap": (8,),
+            "degree": (8,),
+            "selectivity": (0.001, 0.01),
+            "queries_per_group": 8,
+            "load_rates": (20.0,),
+            "load_horizon": 6.0,
+            "shards": int(os.environ.get("REPRO_STRESS_SHARDS", "100")),
+            "shard_queries": 4,
+        }
     raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
 
 
@@ -188,6 +230,31 @@ def _validate_table1(rows: Rows) -> List[str]:
             f"{by_design}"
         )
     return failures
+
+
+def _stress_driver(settings: ExperimentSettings, sweeps: Dict[str, tuple]) -> "Rows":
+    # Imported lazily: parallel.py pulls run_scenario back out of this
+    # module for its plan fan-out.
+    from .parallel import stress_shard_rows
+
+    return stress_shard_rows(settings, sweeps)
+
+
+def _validate_stress(rows: "Rows") -> List[str]:
+    failures: List[str] = []
+    if not rows:
+        return ["stress run produced no shard rows"]
+    shards = {int(r["shard"]) for r in rows}
+    if shards != set(range(len(rows))):
+        failures.append(f"shard ids not contiguous: {sorted(shards)[:5]}...")
+    for r in rows:
+        if float(r["latency_mean_s"]) <= 0:
+            failures.append(f"shard {r['shard']} measured no query latency")
+        if int(r["update_bytes_epoch"]) <= 0:
+            failures.append(f"shard {r['shard']} reported no update traffic")
+        if int(r["levels"]) < 2:
+            failures.append(f"shard {r['shard']} hierarchy did not branch")
+    return failures[:10]
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -282,12 +349,84 @@ SCENARIOS: Dict[str, Scenario] = {
             lambda s, sw: series_overhead_rows(s),
             validate_series_overhead,
         ),
+        Scenario(
+            "stress",
+            "Sharded federation stress: 10^5 servers / 10^6 records "
+            "through the process-pool runner",
+            _stress_driver,
+            _validate_stress,
+        ),
     )
 }
 
 
 def available_scenarios() -> List[str]:
     return sorted(SCENARIOS)
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """Canonical, frozen description of one benchmark run.
+
+    One object carries everything a run needs — scenario, scale, seed,
+    sweep overrides, profiling switches and parallelism — so
+    :func:`run_scenario`, :func:`profile_scenario` and the process-pool
+    runner (:mod:`repro.bench.parallel`) share a single input type and a
+    plan can be pickled to a worker process or replayed verbatim.
+    Derive variants with :meth:`with_` (``plan.with_(seed=7)``).
+    """
+
+    scenario: str
+    scale: str = "quick"
+    seed: int = 1
+    #: thread the wall-clock section profiler through the canonical run
+    profile: bool = True
+    #: run the scenario's paper-series driver; ``False`` keeps only the
+    #: instrumented canonical run (its per-server load rows become the
+    #: artifact rows, as for the ``overlay`` scenario)
+    series: bool = True
+    #: worker processes for scenario-internal fan-out (the ``stress``
+    #: shard sweep); ``0`` means one per core, ``1`` stays in-process
+    workers: int = 1
+    #: telemetry event-bus capacity for the instrumented run
+    capacity: int = 200_000
+    #: per-key overrides merged over :func:`scale_sweeps`
+    sweeps: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; "
+                f"available: {available_scenarios()}"
+            )
+        if self.scale not in SCALES:
+            raise ValueError(
+                f"unknown scale {self.scale!r}; choose from {SCALES}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
+        if not isinstance(self.workers, int) or self.workers < 0:
+            raise ValueError(
+                f"workers must be an int >= 0 (0 = one per core), "
+                f"got {self.workers!r}"
+            )
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+
+    def settings(self) -> ExperimentSettings:
+        """The fully-resolved :class:`ExperimentSettings` for this plan."""
+        return scale_settings(self.scale, self.seed)
+
+    def resolved_sweeps(self) -> Dict[str, object]:
+        """Scale sweeps with this plan's overrides and worker count."""
+        sweeps: Dict[str, object] = dict(scale_sweeps(self.scale))
+        if self.sweeps:
+            sweeps.update(self.sweeps)
+        sweeps["workers"] = self.workers
+        return sweeps
+
+    def with_(self, **kwargs) -> "RunPlan":
+        return replace(self, **kwargs)
 
 
 # -- instrumented canonical run ------------------------------------------------
@@ -399,61 +538,108 @@ def _rows_metrics(rows: Rows) -> Dict[str, float]:
     return out
 
 
+_UNSET = object()
+
+
+def _coerce_plan(
+    plan, scale, seed, profile, capacity, *, fn: str
+) -> RunPlan:
+    """Accept the canonical :class:`RunPlan` or the legacy signature.
+
+    A string first argument is the deprecated positional form; it is
+    converted to an equivalent plan (same defaults as the historical
+    keyword arguments, hence same-seed-identical artifacts) after a
+    :class:`DeprecationWarning` attributed to the caller.
+    """
+    if isinstance(plan, RunPlan):
+        if any(v is not _UNSET for v in (scale, seed, profile, capacity)):
+            raise TypeError(
+                f"{fn}(RunPlan, ...) takes no further arguments; derive a "
+                "new plan with plan.with_(...) instead"
+            )
+        return plan
+    if not isinstance(plan, str):
+        raise TypeError(
+            f"{fn} expects a RunPlan (or, deprecated, a scenario name); "
+            f"got {type(plan).__name__}"
+        )
+    warnings.warn(
+        f"{fn}(name, scale=..., seed=...) is deprecated; pass a RunPlan: "
+        f"{fn}(RunPlan({plan!r}, scale=..., seed=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    kwargs: Dict[str, object] = {}
+    if scale is not _UNSET:
+        kwargs["scale"] = scale
+    if seed is not _UNSET:
+        kwargs["seed"] = seed
+    if profile is not _UNSET:
+        kwargs["profile"] = profile
+    if capacity is not _UNSET:
+        kwargs["capacity"] = capacity
+    return RunPlan(plan, **kwargs)
+
+
 def profile_scenario(
-    name: str,
-    scale: str = "quick",
-    seed: int = 1,
+    plan,
+    scale=_UNSET,
+    seed=_UNSET,
     *,
-    capacity: int = 200_000,
+    capacity=_UNSET,
 ) -> Dict[str, object]:
-    """Profile one scenario's canonical run; returns the full document.
+    """Profile one plan's canonical run; returns the full document.
 
     The payload behind ``repro profile``: the call-path tree, counters
     and event census from a :class:`~repro.telemetry.profiling.
     CallPathProfiler` threaded through the instrumented canonical run.
     Skips the paper-series driver — the canonical run is the part every
     scenario shares and the part the dispatch hot-path map describes.
+
+    Canonically takes a :class:`RunPlan`; the legacy
+    ``profile_scenario(name, scale=..., seed=...)`` signature is a
+    deprecated shim.
     """
     from ..telemetry.profiling import CallPathProfiler
 
-    if name not in SCENARIOS:
-        raise ValueError(
-            f"unknown scenario {name!r}; available: {available_scenarios()}"
-        )
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
-    settings = scale_settings(scale, seed)
+    plan = _coerce_plan(
+        plan, scale, seed, _UNSET, capacity, fn="profile_scenario"
+    )
     profiler = CallPathProfiler()
-    _instrumented_block(settings, seed, profiler, capacity=capacity)
+    _instrumented_block(
+        plan.settings(), plan.seed, profiler, capacity=plan.capacity
+    )
     return profiler.document()
 
 
 def run_scenario(
-    name: str,
-    scale: str = "quick",
-    seed: int = 1,
+    plan,
+    scale=_UNSET,
+    seed=_UNSET,
     *,
-    profile: bool = True,
-    capacity: int = 200_000,
+    profile=_UNSET,
+    capacity=_UNSET,
 ) -> BenchArtifact:
-    """Run one registered scenario end to end; returns its artifact."""
-    if name not in SCENARIOS:
-        raise ValueError(
-            f"unknown scenario {name!r}; available: {available_scenarios()}"
-        )
-    if scale not in SCALES:
-        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
-    scenario = SCENARIOS[name]
-    settings = scale_settings(scale, seed)
-    sweeps = scale_sweeps(scale)
-    profiler = WallClockProfiler() if profile else None
+    """Run one registered scenario end to end; returns its artifact.
+
+    Canonically takes a :class:`RunPlan`; the legacy
+    ``run_scenario(name, scale=..., seed=...)`` signature is a
+    deprecated shim producing a same-seed-identical artifact.
+    """
+    plan = _coerce_plan(
+        plan, scale, seed, profile, capacity, fn="run_scenario"
+    )
+    scenario = SCENARIOS[plan.scenario]
+    settings = plan.settings()
+    sweeps = plan.resolved_sweeps()
+    profiler = WallClockProfiler() if plan.profile else None
 
     t0 = time.perf_counter()
-    rows = scenario.driver(settings, sweeps)
+    rows = scenario.driver(settings, sweeps) if plan.series else []
     driver_seconds = time.perf_counter() - t0
 
     simulated = _instrumented_block(
-        settings, seed, profiler, capacity=capacity
+        settings, plan.seed, profiler, capacity=plan.capacity
     )
     total_seconds = time.perf_counter() - t0
     if not rows:  # instrumented-only scenarios (overlay)
@@ -512,7 +698,7 @@ def run_scenario(
             metrics[f"profile.share.{section}"] = share
 
     return BenchArtifact(
-        **stamp(name, scale, seed, settings),
+        **stamp(plan.scenario, plan.scale, plan.seed, settings),
         settings=asdict(settings),
         rows=rows,
         metrics=metrics,

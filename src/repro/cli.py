@@ -229,10 +229,32 @@ def _cmd_trace(args) -> int:
     else:
         # Default: the largest tree — the most interesting search.
         tree = max(trees.values(), key=lambda t: (len(t), -t.trace_id))
+    path = critical_path(tree)
+    if args.json:
+        doc = {
+            "trace_id": tree.trace_id,
+            "nodes": len(tree),
+            "roots": len(tree.roots),
+            "critical_path": {
+                "total_seconds": path.total,
+                "dominant": path.dominant if path.segments else None,
+                "by_category": path.by_category() if path.segments else {},
+                "segments": [
+                    {
+                        "name": seg.name,
+                        "category": seg.category,
+                        "seconds": seg.seconds,
+                    }
+                    for seg in path.segments
+                ],
+            },
+        }
+        _emit_json(doc, args.json, "trace document")
+        if args.json == "-":
+            return 0
     print(f"trace {tree.trace_id}: {len(tree)} nodes, "
           f"{len(tree.roots)} root(s)")
     print(tree.format(max_nodes=args.max_nodes))
-    path = critical_path(tree)
     if path.segments:
         print()
         print(path.format())
@@ -384,36 +406,38 @@ def _cmd_watch(args) -> int:
     sampler.stop()
     probe.stop()
     recorder.close()
-    print(
+    say = _narrator(args.json)
+    say(
         f"load: {report_load.offered} queries offered at {args.rate}/s, "
         f"{report_load.ok} ok, {report_load.shed_queries} shed; "
         f"{sampler.samples} samples over "
         f"{len(sampler.all_series())} series"
     )
     if args.format == "sparkline":
-        print(sampler.format(metrics=args.metrics or None))
+        say(sampler.format(metrics=args.metrics or None))
     elif args.format == "csv":
-        print("metric,server,t,value")
+        say("metric,server,t,value")
         for row in sampler.rows(rollups=False):
             server = "" if row["server"] is None else row["server"]
-            print(f"{row['metric']},{server},{row['t']},{row['value']}")
+            say(f"{row['metric']},{server},{row['t']},{row['value']}")
     elif args.format == "jsonl":
-        print(series_jsonl(sampler.rows()))
+        say(series_jsonl(sampler.rows()))
     if args.export:
         n = write_series_jsonl(sampler.rows(), args.export)
-        print(f"{n} series rows written to {args.export}")
+        say(f"{n} series rows written to {args.export}")
+    if args.json:
+        _emit_json(list(sampler.rows()), args.json, "series rows JSON")
     if probe.breaches:
-        print(f"SLO breaches: "
+        say(f"SLO breaches: "
               + ", ".join(c.name for c in probe.breaches))
-    print(f"postmortems captured: {len(recorder.bundles)}")
+    say(f"postmortems captured: {len(recorder.bundles)}")
     for path in recorder.dumped:
-        print(f"  postmortem bundle written to {path}")
+        say(f"  postmortem bundle written to {path}")
     return 0
 
 
 def _cmd_postmortem(args) -> int:
     """Render postmortem bundles dumped by the flight recorder."""
-    import json
     from pathlib import Path
 
     from .telemetry import PostmortemBundle
@@ -427,15 +451,20 @@ def _cmd_postmortem(args) -> int:
         print(f"no postmortem bundles under {target} "
               "(produce them with `repro watch --postmortem-dir`)")
         return 1
+    docs = []
     for i, path in enumerate(paths):
         bundle = PostmortemBundle.load(path)
+        if args.json:
+            docs.append({"path": str(path), **bundle.to_dict()})
+            continue
         if i:
             print()
         print(f"== {path} ==")
-        if args.json:
-            print(json.dumps(bundle.to_dict(), indent=2, sort_keys=True))
-        else:
-            print(bundle.format(max_nodes=args.max_nodes))
+        print(bundle.format(max_nodes=args.max_nodes))
+    if docs:
+        _emit_json(
+            docs[0] if len(docs) == 1 else docs, args.json, "postmortem JSON"
+        )
     return 0
 
 
@@ -506,51 +535,103 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _narrator(json_target):
+    """Progress printer: routed to stderr when stdout carries the JSON."""
+    if json_target == "-":
+        import functools
+        import sys
+
+        return functools.partial(print, file=sys.stderr)
+    return print
+
+
+def _emit_json(doc, target: str, label: str) -> None:
+    """Write *doc* to *target* (``-`` = stdout) as pretty JSON."""
+    import json
+    from pathlib import Path
+
+    text = json.dumps(doc, indent=2, default=str)
+    if target == "-":
+        print(text)
+    else:
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"{label} written to {target}")
+
+
 def _cmd_bench_run(args) -> int:
     from pathlib import Path
 
     from .bench import (
+        RunPlan,
         append_trajectory,
         artifact_filename,
-        run_scenario,
+        run_plans,
         write_artifact,
     )
 
-    artifact = run_scenario(
-        args.scenario, scale=args.scale, seed=args.seed,
-        profile=not args.no_profile,
-    )
-    path = write_artifact(
-        artifact, Path(args.out) / artifact_filename(args.scenario)
-    )
-    print_table(artifact.rows, title=f"{args.scenario} ({args.scale} scale)")
-    latency = artifact.simulated["latency"]
-    print(
-        f"\nsimulated: latency p50={latency['p50']:.3f}s "
-        f"p95={latency['p95']:.3f}s p99={latency['p99']:.3f}s; "
-        f"update bytes/epoch={artifact.simulated['update_bytes_epoch']}; "
-        f"root share {artifact.simulated['root_share_overlay']:.1%} with / "
-        f"{artifact.simulated['root_share_no_overlay']:.1%} without overlay"
-    )
-    if artifact.wall:
-        print(
-            f"wall: {artifact.wall['total_seconds']:.2f}s total, "
-            f"{artifact.wall['events_processed']} sim events "
-            f"({artifact.wall['events_per_sec']:.0f}/s); hot sections: "
-            + ", ".join(
-                f"{name}={stats['seconds']:.3f}s"
-                for name, stats in sorted(
-                    artifact.wall["sections"].items(),
-                    key=lambda kv: -kv[1]["seconds"],
-                )[:4]
-            )
+    # --parallel N: worker processes (bare/0 = one per core). With one
+    # scenario the workers drive its internal fan-out (the stress shard
+    # sweep); with several, the plans themselves are pooled one per
+    # worker and each runs its internals serially — never both, so the
+    # machine is not oversubscribed.
+    workers = 1 if args.parallel is None else args.parallel
+    plans = [
+        RunPlan(
+            name, scale=args.scale, seed=args.seed,
+            profile=not args.no_profile, workers=workers,
         )
-    for failure in artifact.shape["failures"]:
-        print(f"shape violation: {failure}")
-    print(f"artifact written to {path}")
-    if args.trajectory:
-        append_trajectory(artifact, args.trajectory)
-        print(f"trajectory row appended to {args.trajectory}")
+        for name in args.scenario
+    ]
+    pool_workers = 1
+    if len(plans) > 1 and workers != 1:
+        pool_workers = workers
+        plans = [plan.with_(workers=1) for plan in plans]
+    artifacts = run_plans(plans, workers=pool_workers)
+
+    say = _narrator(args.json)
+    for artifact in artifacts:
+        path = write_artifact(
+            artifact, Path(args.out) / artifact_filename(artifact.scenario)
+        )
+        if args.json != "-":
+            print_table(
+                artifact.rows,
+                title=f"{artifact.scenario} ({args.scale} scale)",
+            )
+        latency = artifact.simulated["latency"]
+        say(
+            f"\nsimulated: latency p50={latency['p50']:.3f}s "
+            f"p95={latency['p95']:.3f}s p99={latency['p99']:.3f}s; "
+            f"update bytes/epoch={artifact.simulated['update_bytes_epoch']}; "
+            f"root share {artifact.simulated['root_share_overlay']:.1%} with / "
+            f"{artifact.simulated['root_share_no_overlay']:.1%} without overlay"
+        )
+        if artifact.wall:
+            say(
+                f"wall: {artifact.wall['total_seconds']:.2f}s total, "
+                f"{artifact.wall['events_processed']} sim events "
+                f"({artifact.wall['events_per_sec']:.0f}/s); hot sections: "
+                + ", ".join(
+                    f"{name}={stats['seconds']:.3f}s"
+                    for name, stats in sorted(
+                        artifact.wall["sections"].items(),
+                        key=lambda kv: -kv[1]["seconds"],
+                    )[:4]
+                )
+            )
+        for failure in artifact.shape["failures"]:
+            say(f"shape violation: {failure}")
+        say(f"artifact written to {path}")
+        if args.trajectory:
+            append_trajectory(artifact, args.trajectory)
+            say(f"trajectory row appended to {args.trajectory}")
+    if args.json:
+        docs = [a.to_dict() for a in artifacts]
+        _emit_json(
+            docs[0] if len(docs) == 1 else docs, args.json, "artifact JSON"
+        )
     return 0
 
 
@@ -592,11 +673,15 @@ def _cmd_profile(args) -> int:
         print("a scenario is required unless --diff is given "
               "(see `repro bench list`)")
         return 2
-    from .bench import profile_scenario
+    from .bench import RunPlan, profile_scenario
 
     document = profile_scenario(
-        args.scenario, scale=args.scale, seed=args.seed
+        RunPlan(args.scenario, scale=args.scale, seed=args.seed)
     )
+    if args.json == "-":
+        # Bare --json streams the document alone: no report, no exports.
+        print(json.dumps(document, indent=2))
+        return 0
     print(
         f"== {args.scenario} ({args.scale} scale, seed {args.seed}): "
         f"{document['total_seconds']:.3f}s profiled =="
@@ -612,24 +697,33 @@ def _cmd_profile(args) -> int:
         + ", ".join(f"{name} {share:.1%}" for name, share in hot)
         + f"; census fingerprint {document['census_fingerprint']}"
     )
+    def under_out(path: str) -> Path:
+        # Relative export paths land under the shared --out directory.
+        p = Path(path)
+        return p if p.is_absolute() else Path(args.out) / p
+
     if args.json:
-        Path(args.json).write_text(
+        target = under_out(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
             json.dumps(document, indent=2) + "\n", encoding="utf-8"
         )
-        print(f"profile document written to {args.json}")
+        print(f"profile document written to {target}")
     if args.collapsed:
-        Path(args.collapsed).write_text(
-            collapsed_stacks(document), encoding="utf-8"
-        )
-        print(f"collapsed stacks written to {args.collapsed}")
+        target = under_out(args.collapsed)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(collapsed_stacks(document), encoding="utf-8")
+        print(f"collapsed stacks written to {target}")
     if args.speedscope:
-        Path(args.speedscope).write_text(
+        target = under_out(args.speedscope)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
             json.dumps(speedscope_document(
                 document, name=f"repro profile {args.scenario}"
             )) + "\n",
             encoding="utf-8",
         )
-        print(f"speedscope profile written to {args.speedscope}")
+        print(f"speedscope profile written to {target}")
     return 0
 
 
@@ -708,11 +802,43 @@ def _demo_telemetry(args) -> int:
     return 0
 
 
+def _common_options() -> argparse.ArgumentParser:
+    """Parent parser for the flags every artifact-producing verb shares.
+
+    ``bench run``, ``profile``, ``trace``, ``watch`` and ``postmortem``
+    all inherit ``--scale/--seed/--out/--json`` from this one parser,
+    so a new verb cannot re-declare them with drifting defaults. Verbs
+    consume the subset that applies to them (``trace`` and
+    ``postmortem`` read existing artifacts, so ``--scale/--seed`` are
+    accepted for uniformity but have nothing to select).
+    """
+    from .bench import SCALES
+
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("shared options")
+    group.add_argument(
+        "--scale", choices=SCALES, default="quick",
+        help="benchmark scale preset (scenario-driven verbs)",
+    )
+    group.add_argument("--seed", type=int, default=1, help="base RNG seed")
+    group.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for produced artifacts (default: current dir)",
+    )
+    group.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="write the verb's primary JSON document to PATH "
+             "(bare flag: print to stdout)",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ROADS reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_options()
 
     p = sub.add_parser("selftest", help="verify comparative orderings")
     p.add_argument("--seed", type=int, default=1)
@@ -742,6 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
+        parents=[common],
         help="reconstruct causal trees from an exported JSONL artifact",
     )
     p.add_argument("artifact", help="events JSONL written by "
@@ -788,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "watch",
+        parents=[common],
         help="run a federation under load with the time-series sampler, "
              "SLO probe and flight recorder armed; render the series",
     )
@@ -809,7 +937,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SLO-judging probe cadence in virtual seconds")
     p.add_argument("--sample-interval", type=float, default=0.25,
                    help="time-series sampling cadence in virtual seconds")
-    p.add_argument("--seed", type=int, default=1)
     p.add_argument("--format", choices=("sparkline", "csv", "jsonl"),
                    default="sparkline",
                    help="how to render the sampled series")
@@ -823,14 +950,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "postmortem",
+        parents=[common],
         help="render postmortem bundles dumped by the flight recorder",
     )
     p.add_argument("path",
                    help="a postmortem_*.json bundle, or a directory of them")
     p.add_argument("--max-nodes", type=int, default=60,
                    help="cap on rendered causal-tree nodes per trace")
-    p.add_argument("--json", action="store_true",
-                   help="print the raw bundle JSON instead of the summary")
     p.set_defaults(fn=_cmd_postmortem)
 
     p = sub.add_parser("figure", help="regenerate a table/figure")
@@ -861,20 +987,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
 
     b = bench_sub.add_parser(
-        "run", help="run a scenario and write BENCH_<scenario>.json"
+        "run",
+        parents=[common],
+        help="run one or more scenarios and write BENCH_<scenario>.json",
     )
-    from .bench import SCALES as _BENCH_SCALES
     from .bench import available_scenarios as _bench_scenarios
 
-    b.add_argument("scenario", choices=_bench_scenarios())
-    b.add_argument("--scale", choices=_BENCH_SCALES, default="quick")
-    b.add_argument("--seed", type=int, default=1)
-    b.add_argument("--out", default=".",
-                   help="directory for the BENCH_<scenario>.json artifact")
+    b.add_argument("scenario", nargs="+", choices=_bench_scenarios())
     b.add_argument("--trajectory", metavar="PATH",
                    help="also append a summary row to this trajectory file")
     b.add_argument("--no-profile", action="store_true",
                    help="skip the wall-clock section profile")
+    b.add_argument("--parallel", type=int, nargs="?", const=0, default=None,
+                   metavar="N",
+                   help="fan out over N worker processes (bare flag: one "
+                        "per core); several scenarios pool one per worker, "
+                        "a single scenario parallelises its internal sweep "
+                        "(the stress shards)")
     b.set_defaults(fn=_cmd_bench_run)
 
     b = bench_sub.add_parser(
@@ -909,6 +1038,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "profile",
+        parents=[common],
         help="hierarchical hot-path profile of a scenario's canonical "
              "run, with flame-graph exports",
     )
@@ -916,14 +1046,10 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", nargs="?", choices=_bench_scenarios(),
         help="scenario to profile (omit with --diff)",
     )
-    p.add_argument("--scale", choices=_BENCH_SCALES, default="quick")
-    p.add_argument("--seed", type=int, default=1)
     p.add_argument("--top", type=int, default=15,
                    help="rows in the self-time table (default 15)")
     p.add_argument("--tree", action="store_true",
                    help="also print the call-path tree")
-    p.add_argument("--json", metavar="PATH",
-                   help="write the full profile document (diffable)")
     p.add_argument("--collapsed", metavar="PATH",
                    help="write Brendan Gregg collapsed stacks "
                         "(flamegraph.pl input)")

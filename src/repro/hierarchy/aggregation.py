@@ -207,6 +207,21 @@ class SummaryUpdate:
         return "refreshed" if ok else "ignored"
 
 
+def install_batch(server: Server, updates, now: float) -> list:
+    """Apply a same-destination batch of updates; returns their outcomes.
+
+    One call installs a whole ``(destination, tick)`` delivery group —
+    each update addresses a distinct ``(table, src)`` slot, so outcomes
+    are order-independent within the batch and identical to installing
+    the messages one event at a time. The stacked-array work happens
+    when the receiver next folds the installed tables into a branch
+    summary via :meth:`ResourceSummary.merge_many`; this entry point
+    exists so that fold sees every summary of the tick at once instead
+    of re-running per message.
+    """
+    return [u.install(server, now) for u in updates]
+
+
 class SummaryExporter:
     """Per-server actor: exports the branch summary to the parent.
 

@@ -219,10 +219,7 @@ class Server:
                 parts.append(o.summary)
         if not parts:
             return None
-        out = parts[0]
-        for p in parts[1:]:
-            out = out.merge(p)
-        return out
+        return ResourceSummary.merge_many(parts)
 
     def branch_summary(
         self, config: SummaryConfig, now: float = 0.0
@@ -242,10 +239,7 @@ class Server:
                 parts.append(s)
         if not parts:
             return None
-        out = parts[0]
-        for p in parts[1:]:
-            out = out.merge(p)
-        return out
+        return ResourceSummary.merge_many(parts)
 
     def _summary_table(self, table: str) -> Dict[int, ResourceSummary]:
         if table == "child":

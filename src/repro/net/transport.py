@@ -271,6 +271,11 @@ class Network:
         # ``on_delivery`` callback, then the kind handler, then the
         # destination node's registered handler.
         self._kind_handlers: Dict[str, Callable[[Message], None]] = {}
+        # Batch kind handlers: a plane that can install a whole
+        # same-kind, same-destination delivery group in one call (e.g.
+        # stacked summary installs) registers one here; ``send_many``
+        # delivery groups dispatch through it instead of per message.
+        self._kind_batch_handlers: Dict[str, Callable[[list], None]] = {}
         self._failed: Set[int] = set()
         # Per-node server-side service queues (None entry = infinite
         # capacity, the default); see :class:`ServiceConfig`.
@@ -314,6 +319,26 @@ class Network:
 
     def unregister_kind(self, kind: str) -> None:
         self._kind_handlers.pop(kind, None)
+
+    def register_kind_batch(
+        self, kind: str, handler: Callable[[list], None]
+    ) -> None:
+        """Install the batch handler for delivery groups of *kind*.
+
+        The handler receives the full list of same-kind messages
+        arriving at one destination at one instant (a ``send_many``
+        delivery group). Per-message accounting — ``delivered``
+        counters, dispatch-mix gauges, profiler census — is performed by
+        the network before the single handler call; the handler reads
+        each message's causal context from ``msg.trace`` (the shared
+        :attr:`delivery_trace` is not set for batch dispatch).
+        """
+        if not kind:
+            raise ValueError("kind must be a non-empty string")
+        self._kind_batch_handlers[kind] = handler
+
+    def unregister_kind_batch(self, kind: str) -> None:
+        self._kind_batch_handlers.pop(kind, None)
 
     def fail_node(self, node: int) -> None:
         """Mark *node* failed: all inbound messages are dropped."""
@@ -527,6 +552,185 @@ class Network:
         )
         return msg
 
+    def send_many(
+        self,
+        src: int,
+        requests,
+        category: str,
+        *,
+        phase: str = "",
+        on_dropped: Optional[Callable[[Message, str], None]] = None,
+    ) -> "list[Message]":
+        """Send a batch of messages from *src* in one call.
+
+        *requests* is a sequence of ``(dst, size_bytes, payload, kind,
+        trace)`` tuples, processed in order: per-message disposition
+        (sender-failure, loss draws, telemetry events, ``on_dropped``)
+        is identical to issuing :meth:`send` once per request — loss RNG
+        draws happen in request order — but the per-message overheads are
+        amortized: traffic is accounted per destination group, one
+        profiler frame covers the whole batch, and all surviving
+        messages bound for the same ``(dst, kind)`` share **one**
+        delivery event (they arrive at the same instant anyway, and
+        their handler invocations were already adjacent in the
+        per-message schedule). When the destination's kind has a batch
+        handler (:meth:`register_kind_batch`) and no service queue is
+        configured, the group is installed with a single vectorized
+        handler call; otherwise delivery falls back to per-message
+        dispatch in order. ``on_delivery``/``on_rejected`` hooks are not
+        supported here — use :meth:`send` for those.
+        """
+        prof = self._profiler
+        if prof is None:
+            return self._send_many(src, requests, category, phase, on_dropped)
+        prof.enter("net.send")
+        try:
+            return self._send_many(src, requests, category, phase, on_dropped)
+        finally:
+            prof.exit()
+
+    def _send_many(
+        self,
+        src: int,
+        requests,
+        category: str,
+        phase: str,
+        on_dropped: Optional[Callable[[Message, str], None]],
+    ) -> "list[Message]":
+        tel = self.telemetry
+        msgs: list = []
+        counter = self._msg_counter
+        if src in self._failed:
+            # A failed node cannot transmit. Mirror the per-message path
+            # exactly (record + roll back) so the registry grows the same
+            # zeroed entries it historically did.
+            for dst, size_bytes, payload, kind, trace in requests:
+                msg = Message(src=src, dst=dst, category=category,
+                              size_bytes=int(size_bytes), payload=payload,
+                              msg_id=next(counter), kind=kind, trace=trace)
+                msgs.append(msg)
+                self.metrics.record_message(
+                    category, msg.size_bytes, server=dst, phase=phase
+                )
+                self.metrics.uncount_message(
+                    category, msg.size_bytes, server=dst, phase=phase
+                )
+                self.dropped += 1
+                if tel is not None:
+                    ctags = trace.tags() if trace is not None else _NO_TAGS
+                    tel.event("net.drop", src=src, dst=dst, category=category,
+                              phase=phase, kind=kind, msg_id=msg.msg_id,
+                              reason="sender_failed", **ctags)
+                if on_dropped is not None:
+                    on_dropped(msg, "sender_failed")
+            return msgs
+        loss_rate = self.loss_rate
+        rng = self._rng
+        # (dst, kind) -> [total_bytes, count, [surviving messages]]
+        groups: Dict[Tuple[int, str], list] = {}
+        for dst, size_bytes, payload, kind, trace in requests:
+            msg = Message(src=src, dst=dst, category=category,
+                          size_bytes=int(size_bytes), payload=payload,
+                          msg_id=next(counter), kind=kind, trace=trace)
+            msgs.append(msg)
+            self.sent += 1
+            acc = groups.get((dst, kind))
+            if acc is None:
+                acc = groups[(dst, kind)] = [0, 0, []]
+            acc[0] += msg.size_bytes
+            acc[1] += 1
+            if loss_rate > 0 and rng.random() < loss_rate:
+                self.lost += 1
+                if tel is not None:
+                    ctags = trace.tags() if trace is not None else _NO_TAGS
+                    tel.event("net.loss", src=src, dst=dst, category=category,
+                              phase=phase, kind=kind, msg_id=msg.msg_id,
+                              bytes=msg.size_bytes, **ctags)
+                if on_dropped is not None:
+                    on_dropped(msg, "lost")
+                continue  # bytes were sent; the message never arrives
+            if tel is not None:
+                ctags = trace.tags() if trace is not None else _NO_TAGS
+                tel.event("net.send", src=src, dst=dst, category=category,
+                          phase=phase, bytes=msg.size_bytes,
+                          msg_id=msg.msg_id, **ctags)
+            acc[2].append(msg)
+        sent_at = self.sim.now
+        for (dst, kind), (total_bytes, count, group) in groups.items():
+            self.metrics.record_messages(
+                category, total_bytes, count, server=dst, phase=phase
+            )
+            if not group:
+                continue
+            delay = self.delay_space.latency(src, dst) + self.processing_delay
+            self.sim.schedule(
+                delay,
+                self._batch_deliverer(src, dst, kind, category, phase,
+                                      group, sent_at, on_dropped),
+                None if self._profiler is None
+                else "net.deliver:" + (kind or category),
+            )
+        return msgs
+
+    def _batch_deliverer(
+        self, src, dst, kind, category, phase, group, sent_at, on_dropped
+    ):
+        def deliver_batch() -> None:
+            tel = self.telemetry
+            if dst in self._failed:
+                for msg in group:
+                    self.dropped += 1
+                    if tel is not None:
+                        ctags = (msg.trace.tags() if msg.trace is not None
+                                 else _NO_TAGS)
+                        tel.event("net.drop", src=src, dst=dst,
+                                  category=category, phase=phase, kind=kind,
+                                  msg_id=msg.msg_id, reason="receiver_failed",
+                                  **ctags)
+                    if on_dropped is not None:
+                        on_dropped(msg, "receiver_failed")
+                return
+            if tel is not None:
+                now = self.sim.now
+                for msg in group:
+                    ctags = (msg.trace.tags() if msg.trace is not None
+                             else _NO_TAGS)
+                    tel.emit_span("net.transit", sent_at, now,
+                                  src=src, server=dst, category=category,
+                                  phase=phase, kind=kind, msg_id=msg.msg_id,
+                                  bytes=msg.size_bytes, **ctags)
+            svc = self._service.get(dst)
+            if svc is None and kind:
+                batch_handler = self._kind_batch_handlers.get(kind)
+                if batch_handler is not None:
+                    self._invoke_batch(batch_handler, group)
+                    return
+            handler = self._kind_handlers.get(kind) if kind else None
+            if handler is None:
+                handler = self._handlers.get(dst)
+            if handler is None:
+                return
+            if svc is None:
+                for msg in group:
+                    self._invoke(handler, msg, msg.trace)
+                return
+            for msg in group:
+                if svc.offer(
+                    msg, lambda m, c: self._invoke(handler, m, c), on_dropped
+                ):
+                    continue
+                self.shed += 1
+                if tel is not None:
+                    ctags = (msg.trace.tags() if msg.trace is not None
+                             else _NO_TAGS)
+                    tel.event("net.shed", src=src, dst=dst, category=category,
+                              phase=phase, kind=kind, msg_id=msg.msg_id,
+                              depth=svc.depth, **ctags)
+                if on_dropped is not None:
+                    on_dropped(msg, "shed")
+
+        return deliver_batch
+
     def counters(self) -> Dict[str, int]:
         """One snapshot of the network-level message dispositions.
 
@@ -543,6 +747,34 @@ class Network:
             "dropped": self.dropped,
             "shed": self.shed,
         }
+
+    def _invoke_batch(
+        self, handler: Callable[[list], None], group: "list[Message]"
+    ) -> None:
+        """Dispatch one same-kind delivery group with a single handler call.
+
+        Per-message accounting is preserved exactly: the ``delivered``
+        counter, the dispatch-mix gauge and the profiler census advance
+        once per message; only the handler invocation (and its
+        ``net.deliver`` frame) is amortized across the group.
+        """
+        n = len(group)
+        self.delivered += n
+        mix = group[0].kind or group[0].category
+        by_kind = self.delivered_by_kind
+        by_kind[mix] = by_kind.get(mix, 0) + n
+        prof = self._profiler
+        if prof is None:
+            handler(group)
+            return
+        census = prof.census
+        for msg in group:
+            census(mix, msg.dst)
+        prof.enter("net.deliver")
+        try:
+            handler(group)
+        finally:
+            prof.exit()
 
     def _invoke(
         self,

@@ -46,6 +46,7 @@ from ..hierarchy.aggregation import (
     SummaryUpdate,
     aggregate_round,
     build_owner_export,
+    install_batch,
 )
 from ..hierarchy.join import Hierarchy
 from ..hierarchy.node import Server
@@ -151,6 +152,10 @@ class UpdatePlane:
         self._tasks: Dict[int, PeriodicTask] = {}
         network.register_kind(SUMMARY_FULL, self._on_update)
         network.register_kind(SUMMARY_KEEPALIVE, self._on_update)
+        # Batched fan-out deliveries (send_many groups) install a whole
+        # (destination, tick) group of summaries in one handler call.
+        network.register_kind_batch(SUMMARY_FULL, self._on_update_batch)
+        network.register_kind_batch(SUMMARY_KEEPALIVE, self._on_update_batch)
 
     @property
     def inflight(self) -> int:
@@ -210,15 +215,67 @@ class UpdatePlane:
     def _on_update(self, msg: Message) -> None:
         prof = self._profiler
         if prof is None:
-            self._install(msg)
+            self._install(msg, self.network.delivery_trace)
             return
         prof.enter("update.install")
         try:
-            self._install(msg)
+            self._install(msg, self.network.delivery_trace)
         finally:
             prof.exit()
 
-    def _install(self, msg: Message) -> None:
+    def _on_update_batch(self, msgs: List[Message]) -> None:
+        """Install a same-kind ``(destination, tick)`` delivery group.
+
+        One ``update.install`` frame and one hierarchy lookup cover the
+        whole group (every message shares the destination); per-message
+        outcome accounting is identical to the singleton path (batch
+        dispatch leaves the shared ``delivery_trace`` unset, so each
+        message's own trace provides the causal parent).
+        """
+        prof = self._profiler
+        if prof is None:
+            self._install_group(msgs)
+            return
+        prof.enter("update.install")
+        try:
+            self._install_group(msgs)
+        finally:
+            prof.exit()
+
+    def _install_group(self, msgs: List[Message]) -> None:
+        self._inflight -= len(msgs)
+        c = self.counters
+        try:
+            server = self.hierarchy.get(msgs[0].dst)
+        except KeyError:
+            c.ignored += len(msgs)  # receiver left the federation in flight
+            return
+        now = self.sim.now
+        outcomes = install_batch(server, [m.payload for m in msgs], now)
+        tel = self.telemetry
+        for msg, outcome in zip(msgs, outcomes):
+            if tel is not None:
+                dctx = tel.fork(msg.trace)
+                tel.event(
+                    "update.deliver", server=msg.dst, src=msg.src,
+                    kind=msg.kind, msg_id=msg.msg_id, outcome=outcome,
+                    **(dctx.tags() if dctx is not None else {}),
+                )
+            if outcome == "installed":
+                c.installed += 1
+                summary = msg.payload.summary
+                if summary is not None:
+                    lag = now - summary.created_at
+                    c.install_lag_sum += lag
+                    c.installs_timed += 1
+                    if lag > c.install_lag_max:
+                        c.install_lag_max = lag
+            elif outcome == "refreshed":
+                c.refreshed += 1
+            else:
+                c.ignored += 1
+
+    def _install(self, msg: Message, ctx) -> None:
         self._inflight -= 1
         c = self.counters
         try:
@@ -230,7 +287,7 @@ class UpdatePlane:
         outcome = update.install(server, self.sim.now)
         tel = self.telemetry
         if tel is not None:
-            dctx = tel.fork(self.network.delivery_trace)
+            dctx = tel.fork(ctx)
             tel.event(
                 "update.deliver", server=msg.dst, src=msg.src,
                 kind=msg.kind, msg_id=msg.msg_id, outcome=outcome,
@@ -295,17 +352,32 @@ class UpdatePlane:
             pushes = self._pusher(server).build_updates(
                 self.sim.now, force_full=force_full
             )
+            if not pushes:
+                return
+            # The whole replica fan-out of this server's tick goes out as
+            # one batch: per-message accounting (loss draws in push
+            # order, counters, traces) matches the historical one-send-
+            # per-push loop exactly, but same-(holder, kind) messages
+            # share a delivery event and install as one group.
             c = self.counters
+            tel = self.telemetry
+            requests = []
             for holder_id, update, size in pushes:
                 c.replication_bytes += size
                 c.replication_messages += 1
                 if update.summary is None:
                     c.keepalive_sends += 1
+                    kind = SUMMARY_KEEPALIVE
                 else:
                     c.full_sends += 1
-                self._send_update(
-                    server.server_id, holder_id, update, size, "replicate"
-                )
+                    kind = SUMMARY_FULL
+                ctx = tel.new_trace() if tel is not None else None
+                requests.append((holder_id, size, update, kind, ctx))
+            self._inflight += len(requests)
+            self.network.send_many(
+                server.server_id, requests, UPDATE,
+                phase="replicate", on_dropped=self._on_dropped,
+            )
         finally:
             if prof is not None:
                 prof.exit()

@@ -61,6 +61,31 @@ class MetricsCollector:
             category, size_bytes, server=server, phase=phase
         )
 
+    def record_messages(
+        self,
+        category: str,
+        total_bytes: int,
+        count: int,
+        *,
+        server: Optional[int] = None,
+        phase: str = "",
+    ) -> None:
+        """Count *count* messages totalling *total_bytes* in one update.
+
+        Equivalent to *count* :meth:`record_message` calls against the
+        same ``(category, server, phase)`` key — the batched send path
+        uses it to fold a whole destination group into two dict updates.
+        """
+        if total_bytes < 0:
+            raise ValueError(f"negative message bytes: {total_bytes}")
+        if count < 0:
+            raise ValueError(f"negative message count: {count}")
+        if count == 0:
+            return
+        self.registry.count_message(
+            category, total_bytes, server=server, phase=phase, count=count
+        )
+
     def uncount_message(
         self,
         category: str,

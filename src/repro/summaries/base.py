@@ -35,6 +35,18 @@ class AttributeSummary(abc.ABC):
     def merge(self, other: "AttributeSummary") -> "AttributeSummary":
         """A new summary covering both inputs' value sets."""
 
+    def merge_many(self, others) -> "AttributeSummary":
+        """A new summary covering this and all of *others*' value sets.
+
+        Semantically a left-fold of :meth:`merge`; concrete summary
+        types override it with a single-pass (stacked-array) merge that
+        produces bit-identical results without per-operand intermediates.
+        """
+        out = self
+        for other in others:
+            out = out.merge(other)
+        return out
+
     @abc.abstractmethod
     def encoded_size(self) -> int:
         """Wire size of this summary in bytes."""

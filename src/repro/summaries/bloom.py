@@ -41,7 +41,7 @@ def optimal_parameters(expected_items: int, false_positive_rate: float):
 class BloomFilterSummary(AttributeSummary):
     """Fixed-size bit-array membership summary."""
 
-    __slots__ = ("attribute", "bits", "num_hashes", "_array")
+    __slots__ = ("attribute", "bits", "num_hashes", "_array", "_fp")
 
     def __init__(self, attribute: str, bits: int = 1024, num_hashes: int = 4):
         if bits <= 0:
@@ -52,6 +52,7 @@ class BloomFilterSummary(AttributeSummary):
         self.bits = int(bits)
         self.num_hashes = int(num_hashes)
         self._array = np.zeros(self.bits, dtype=bool)
+        self._fp = None
 
     @classmethod
     def from_values(
@@ -76,6 +77,7 @@ class BloomFilterSummary(AttributeSummary):
 
     def add(self, value: str) -> None:
         self._array[self._positions(value)] = True
+        self._fp = None
 
     def contains(self, value: str) -> bool:
         return bool(self._array[self._positions(value)].all())
@@ -102,7 +104,7 @@ class BloomFilterSummary(AttributeSummary):
         assert isinstance(predicate, EqualsPredicate)
         return self.contains(predicate.value)
 
-    def merge(self, other: AttributeSummary) -> "BloomFilterSummary":
+    def _check_mergeable(self, other: AttributeSummary) -> "BloomFilterSummary":
         if not isinstance(other, BloomFilterSummary):
             raise SummaryMergeError(
                 f"cannot merge BloomFilterSummary with {type(other).__name__}"
@@ -117,8 +119,21 @@ class BloomFilterSummary(AttributeSummary):
                 f"({self.bits} bits, k={self.num_hashes}) vs "
                 f"({other.bits} bits, k={other.num_hashes}) on {other.attribute!r}"
             )
+        return other
+
+    def merge(self, other: AttributeSummary) -> "BloomFilterSummary":
+        other = self._check_mergeable(other)
         merged = BloomFilterSummary(self.attribute, self.bits, self.num_hashes)
         merged._array = self._array | other._array
+        return merged
+
+    def merge_many(self, others) -> "BloomFilterSummary":
+        """Single-pass bitwise OR over this and all of *others*."""
+        array = self._array.copy()
+        for o in others:
+            array |= self._check_mergeable(o)._array
+        merged = BloomFilterSummary(self.attribute, self.bits, self.num_hashes)
+        merged._array = array
         return merged
 
     def copy(self) -> "BloomFilterSummary":
@@ -127,14 +142,21 @@ class BloomFilterSummary(AttributeSummary):
         return out
 
     def fingerprint(self) -> bytes:
-        """Content hash used by delta propagation to skip unchanged sends."""
+        """Content hash used by delta propagation to skip unchanged sends.
+
+        Cached: the bit array only changes through :meth:`add` (which
+        invalidates) — merges and copies return new instances.
+        """
+        if self._fp is not None:
+            return self._fp
         import hashlib
 
         h = hashlib.blake2b(digest_size=16)
         h.update(self.attribute.encode("utf-8"))
         h.update(np.int64((self.bits, self.num_hashes)).tobytes())
         h.update(np.packbits(self._array).tobytes())
-        return h.digest()
+        self._fp = h.digest()
+        return self._fp
 
     def encoded_size(self) -> int:
         return _HEADER_BYTES + (self.bits + 7) // 8

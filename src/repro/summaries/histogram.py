@@ -35,7 +35,7 @@ _HEADER_BYTES = 16
 class HistogramSummary(AttributeSummary):
     """Equal-width bucket histogram over a bounded numeric domain."""
 
-    __slots__ = ("attribute", "lo", "hi", "counts", "encoding")
+    __slots__ = ("attribute", "lo", "hi", "counts", "encoding", "_fp")
 
     def __init__(
         self,
@@ -68,6 +68,7 @@ class HistogramSummary(AttributeSummary):
             if (counts < 0).any():
                 raise ValueError("histogram counts must be non-negative")
             self.counts = counts.copy()
+        self._fp = None
 
     # -- construction ------------------------------------------------------------
     @classmethod
@@ -85,11 +86,33 @@ class HistogramSummary(AttributeSummary):
         h.add_values(values)
         return h
 
+    @classmethod
+    def _trusted(
+        cls,
+        attribute: str,
+        bounds: Tuple[float, float],
+        encoding: str,
+        counts: np.ndarray,
+    ) -> "HistogramSummary":
+        """Internal constructor for counts already known valid.
+
+        Skips re-validation and the defensive copy of ``__init__`` —
+        merge results are freshly allocated arrays the caller owns.
+        """
+        h = cls.__new__(cls)
+        h.attribute = attribute
+        h.lo, h.hi = bounds
+        h.encoding = encoding
+        h.counts = counts
+        h._fp = None
+        return h
+
     def add_values(self, values: Iterable[float]) -> None:
         vals = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
                           dtype=np.float64)
         if vals.size == 0:
             return
+        self._fp = None
         clipped = np.clip(vals, self.lo, self.hi)
         idx = self._bucket_of(clipped)
         np.add.at(self.counts, idx, 1)
@@ -131,7 +154,7 @@ class HistogramSummary(AttributeSummary):
         last = int(np.clip(np.floor((hi - self.lo) / span * m), 0, m - 1))
         return bool(self.counts[first : last + 1].any())
 
-    def merge(self, other: AttributeSummary) -> "HistogramSummary":
+    def _check_mergeable(self, other: AttributeSummary) -> "HistogramSummary":
         if not isinstance(other, HistogramSummary):
             raise SummaryMergeError(
                 f"cannot merge HistogramSummary with {type(other).__name__}"
@@ -147,21 +170,37 @@ class HistogramSummary(AttributeSummary):
                 f"({self.buckets}, [{self.lo}, {self.hi}]) vs "
                 f"({other.buckets}, [{other.lo}, {other.hi}]) on {other.attribute!r}"
             )
-        return HistogramSummary(
+        return other
+
+    def merge(self, other: AttributeSummary) -> "HistogramSummary":
+        other = self._check_mergeable(other)
+        return HistogramSummary._trusted(
             self.attribute,
-            self.buckets,
             (self.lo, self.hi),
-            encoding=self.encoding,
-            counts=self.counts + other.counts,
+            self.encoding,
+            self.counts + other.counts,
+        )
+
+    def merge_many(self, others) -> "HistogramSummary":
+        """Bucket-wise sum with *others* in one pass.
+
+        Equivalent to left-folding :meth:`merge` (int64 addition is
+        associative) but allocates a single result array instead of one
+        intermediate histogram per operand.
+        """
+        counts = self.counts.copy()
+        for o in others:
+            counts += self._check_mergeable(o).counts
+        return HistogramSummary._trusted(
+            self.attribute, (self.lo, self.hi), self.encoding, counts
         )
 
     def copy(self) -> "HistogramSummary":
-        return HistogramSummary(
+        return HistogramSummary._trusted(
             self.attribute,
-            self.buckets,
             (self.lo, self.hi),
-            encoding=self.encoding,
-            counts=self.counts,
+            self.encoding,
+            self.counts.copy(),
         )
 
     def encoded_size(self) -> int:
@@ -173,7 +212,13 @@ class HistogramSummary(AttributeSummary):
         return _HEADER_BYTES + nonzero * _SPARSE_ENTRY_BYTES
 
     def fingerprint(self) -> bytes:
-        """Content hash used by delta propagation to skip unchanged sends."""
+        """Content hash used by delta propagation to skip unchanged sends.
+
+        Cached: counts only change through :meth:`add_values` (which
+        invalidates) — merges and copies return new instances.
+        """
+        if self._fp is not None:
+            return self._fp
         import hashlib
 
         h = hashlib.blake2b(digest_size=16)
@@ -181,7 +226,8 @@ class HistogramSummary(AttributeSummary):
         h.update(np.int64(self.buckets).tobytes())
         h.update(np.float64((self.lo, self.hi)).tobytes())
         h.update(np.ascontiguousarray(self.counts).tobytes())
-        return h.digest()
+        self._fp = h.digest()
+        return self._fp
 
     # -- introspection -------------------------------------------------------------
     def count_in_range(self, lo: float, hi: float) -> int:

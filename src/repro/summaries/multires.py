@@ -135,6 +135,35 @@ class MultiResolutionHistogram(AttributeSummary):
         ]
         return merged
 
+    def merge_many(self, others) -> "MultiResolutionHistogram":
+        """Level-wise single-pass merge over this and all of *others*."""
+        others = list(others)
+        for other in others:
+            if not isinstance(other, MultiResolutionHistogram):
+                raise SummaryMergeError(
+                    "cannot merge MultiResolutionHistogram with "
+                    f"{type(other).__name__}"
+                )
+            if other.levels != self.levels or other.attribute != self.attribute:
+                raise SummaryMergeError(
+                    "incompatible multi-resolution histograms: "
+                    f"{self.attribute!r}/{self.levels} levels vs "
+                    f"{other.attribute!r}/{other.levels} levels"
+                )
+        base = self._pyramid[0]
+        merged = MultiResolutionHistogram(
+            self.attribute,
+            base.buckets,
+            (base.lo, base.hi),
+            self.levels,
+            encoding=base.encoding,
+        )
+        merged._pyramid = [
+            level.merge_many([o._pyramid[i] for o in others])
+            for i, level in enumerate(self._pyramid)
+        ]
+        return merged
+
     def copy(self) -> "MultiResolutionHistogram":
         base = self._pyramid[0]
         out = MultiResolutionHistogram(

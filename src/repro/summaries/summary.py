@@ -133,6 +133,39 @@ class ResourceSummary:
             created_at=min(self.created_at, other.created_at),
         )
 
+    @classmethod
+    def merge_many(cls, summaries) -> "ResourceSummary":
+        """Merge *summaries* (non-empty sequence) in one stacked pass.
+
+        Bit-identical to left-folding :meth:`merge` — every attribute
+        merge is an associative bucket sum / set union — but each
+        attribute allocates one result instead of one intermediate per
+        operand. This is the vectorized kernel behind branch-summary
+        aggregation and batched summary installs.
+        """
+        summaries = list(summaries)
+        if not summaries:
+            raise ValueError("merge_many needs at least one summary")
+        first = summaries[0]
+        if len(summaries) == 1:
+            return first
+        rest = summaries[1:]
+        for s in rest:
+            if s.schema != first.schema:
+                raise SummaryMergeError(
+                    "cannot merge summaries with different schemas"
+                )
+        merged = {
+            name: summ.merge_many([s.attributes[name] for s in rest])
+            for name, summ in first.attributes.items()
+        }
+        return cls(
+            first.schema,
+            first.config,
+            merged,
+            created_at=min(s.created_at for s in summaries),
+        )
+
     def copy(self) -> "ResourceSummary":
         return ResourceSummary(
             self.schema,
@@ -160,9 +193,16 @@ class ResourceSummary:
         return now - self.created_at > self.config.ttl
 
     def refreshed(self, now: float) -> "ResourceSummary":
-        out = self.copy()
-        out.created_at = now
-        return out
+        """A same-content summary stamped *now*.
+
+        Shares the attribute summaries instead of deep-copying their
+        arrays: attribute summaries are immutable once exported (their
+        mutators exist only for construction), so a refresh only needs a
+        fresh top-level object with its own ``created_at``.
+        """
+        return ResourceSummary(
+            self.schema, self.config, dict(self.attributes), created_at=now
+        )
 
     # -- estimation ----------------------------------------------------------------
     def estimated_matches(self, query: Query) -> int:

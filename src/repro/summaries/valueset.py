@@ -19,11 +19,12 @@ _HEADER_BYTES = 8
 class ValueSetSummary(AttributeSummary):
     """Explicit enumeration of the distinct categorical values present."""
 
-    __slots__ = ("attribute", "values")
+    __slots__ = ("attribute", "values", "_fp")
 
     def __init__(self, attribute: str, values: Iterable[str] = ()):
         self.attribute = attribute
         self.values: FrozenSet[str] = frozenset(values)
+        self._fp = None
 
     @classmethod
     def from_values(cls, attribute: str, values: Iterable[str]) -> "ValueSetSummary":
@@ -42,7 +43,7 @@ class ValueSetSummary(AttributeSummary):
         assert isinstance(predicate, EqualsPredicate)
         return predicate.value in self.values
 
-    def merge(self, other: AttributeSummary) -> "ValueSetSummary":
+    def _check_mergeable(self, other: AttributeSummary) -> "ValueSetSummary":
         if not isinstance(other, ValueSetSummary):
             raise SummaryMergeError(
                 f"cannot merge ValueSetSummary with {type(other).__name__}"
@@ -51,20 +52,37 @@ class ValueSetSummary(AttributeSummary):
             raise SummaryMergeError(
                 f"cannot merge value sets for {self.attribute!r} and {other.attribute!r}"
             )
+        return other
+
+    def merge(self, other: AttributeSummary) -> "ValueSetSummary":
+        other = self._check_mergeable(other)
         return ValueSetSummary(self.attribute, self.values | other.values)
+
+    def merge_many(self, others) -> "ValueSetSummary":
+        """Single-pass set union over this and all of *others*."""
+        return ValueSetSummary(
+            self.attribute,
+            self.values.union(*(self._check_mergeable(o).values for o in others)),
+        )
 
     def copy(self) -> "ValueSetSummary":
         return ValueSetSummary(self.attribute, self.values)
 
     def fingerprint(self) -> bytes:
-        """Content hash used by delta propagation to skip unchanged sends."""
+        """Content hash used by delta propagation to skip unchanged sends.
+
+        Cached: the value set is a frozenset, immutable for life.
+        """
+        if self._fp is not None:
+            return self._fp
         import hashlib
 
         h = hashlib.blake2b(digest_size=16)
         h.update(self.attribute.encode("utf-8"))
         for v in sorted(self.values):
             h.update(v.encode("utf-8") + b"\x00")
-        return h.digest()
+        self._fp = h.digest()
+        return self._fp
 
     def encoded_size(self) -> int:
         return _HEADER_BYTES + sum(len(v.encode("utf-8")) + 1 for v in self.values)

@@ -21,6 +21,7 @@ from repro.bench import (
     load_trajectory,
     append_trajectory,
     resolve_scale,
+    RunPlan,
     run_scenario,
     scale_settings,
     scale_sweeps,
@@ -33,7 +34,7 @@ from repro.experiments.config import ExperimentSettings
 
 @pytest.fixture(scope="module")
 def overlay_artifact():
-    return run_scenario("overlay", scale="smoke", seed=3)
+    return run_scenario(RunPlan("overlay", scale="smoke", seed=3))
 
 
 class TestProfiler:
@@ -120,7 +121,7 @@ class TestRunScenario:
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario"):
-            run_scenario("fig99", scale="smoke")
+            RunPlan("fig99", scale="smoke")
 
     def test_overlay_artifact_contents(self, overlay_artifact):
         art = overlay_artifact
@@ -140,7 +141,7 @@ class TestRunScenario:
         )
 
     def test_profile_off_leaves_wall_empty(self):
-        art = run_scenario("fig8", scale="smoke", seed=2, profile=False)
+        art = run_scenario(RunPlan("fig8", scale="smoke", seed=2, profile=False))
         assert art.wall == {}
         assert not any(k.startswith("wall.") for k in art.metrics)
 

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.bench import (
+    RunPlan,
     WallClockProfiler,
     compare_artifacts,
     profile_scenario,
@@ -270,7 +271,7 @@ class TestDeterminismTripwire:
 class TestProfileScenarioAndCli:
     @pytest.fixture(scope="class")
     def document(self):
-        return profile_scenario("overlay", scale="smoke", seed=3)
+        return profile_scenario(RunPlan("overlay", scale="smoke", seed=3))
 
     def test_document_shape(self, document):
         assert document["schema"] == PROFILE_SCHEMA
@@ -334,7 +335,7 @@ class TestProfileScenarioAndCli:
 class TestCompareGate:
     @pytest.fixture(scope="class")
     def artifact(self):
-        return run_scenario("overlay", scale="smoke", seed=3)
+        return run_scenario(RunPlan("overlay", scale="smoke", seed=3))
 
     def _clone(self, artifact: BenchArtifact) -> BenchArtifact:
         return BenchArtifact.from_dict(

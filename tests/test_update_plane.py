@@ -112,13 +112,22 @@ class TestEpochParity:
         )
         kinds = []
         original = system.network.send
+        original_many = system.network.send_many
 
         def spy(src, dst, category, size, *args, **kwargs):
             if kwargs.get("kind"):
                 kinds.append((kwargs["kind"], size))
             return original(src, dst, category, size, *args, **kwargs)
 
+        def spy_many(src, requests, category, **kwargs):
+            requests = list(requests)
+            for dst, size, payload, kind, trace in requests:
+                if kind:
+                    kinds.append((kind, size))
+            return original_many(src, requests, category, **kwargs)
+
         system.network.send = spy
+        system.network.send_many = spy_many
         system.refresh()
         names = {k for k, _ in kinds}
         assert names == {SUMMARY_FULL, SUMMARY_KEEPALIVE}
