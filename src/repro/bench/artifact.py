@@ -57,8 +57,13 @@ def git_rev(repo_dir: Optional[Path] = None) -> str:
     return "unknown"
 
 
+#: scenarios whose artifact file keeps a shorter stem than the
+#: registry name (the quality plane's baseline is BENCH_quality.json)
+_ARTIFACT_STEMS = {"quality_plane": "quality"}
+
+
 def artifact_filename(scenario: str) -> str:
-    return f"BENCH_{scenario}.json"
+    return f"BENCH_{_ARTIFACT_STEMS.get(scenario, scenario)}.json"
 
 
 @dataclass

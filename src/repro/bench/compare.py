@@ -48,6 +48,25 @@ PROFILE_SHARE_FLOOR = 0.02
 #: wall metrics where *higher* is better (throughput rather than time)
 _HIGHER_IS_BETTER = frozenset({"wall.events_per_sec"})
 
+#: substrings of ``rows.quality_*`` metric names where *higher* is the
+#: good direction (accuracy); everything else counts misroutes, where
+#: lower is better
+_QUALITY_GOOD_UP = ("precision", "recall", "_tp", "_tn")
+
+
+def _quality_regression_only(name: str) -> Optional[bool]:
+    """Is *name* an answer-quality metric, and is higher better?
+
+    Oracle verdict counts are deterministic per seed, but they gate in
+    the *regression* direction only (like ``wall.*``): a change that
+    makes answers strictly more accurate should not fail the bench and
+    force a baseline regeneration. Returns ``None`` for non-quality
+    metrics, else whether higher is the good direction.
+    """
+    if not name.startswith("rows.quality_"):
+        return None
+    return any(tag in name for tag in _QUALITY_GOOD_UP)
+
 
 @dataclass
 class MetricDelta:
@@ -69,7 +88,9 @@ class MetricDelta:
             "change": f"{self.rel_change:+.1%}",
             "band": (
                 f"+{self.tolerance:.0%}"
-                if self.name.startswith(("wall.", "profile.share."))
+                if self.name.startswith(
+                    ("wall.", "profile.share.", "rows.quality_")
+                )
                 else f"±{self.tolerance:.0%}"
             ),
             "ok": "ok" if self.ok else "FAIL",
@@ -170,6 +191,14 @@ def compare_artifacts(
             tol = wall_tolerance
             # Regression-only: slower sections / lower throughput fail.
             bad = rel < -tol if name in _HIGHER_IS_BETTER else rel > tol
+            ok = not bad
+        elif _quality_regression_only(name) is not None:
+            tol = wall_tolerance
+            # Regression-only: less accurate answers / more misroutes
+            # fail; strict accuracy improvements pass without a regen.
+            bad = (
+                rel < -tol if _quality_regression_only(name) else rel > tol
+            )
             ok = not bad
         else:
             tol = tolerance

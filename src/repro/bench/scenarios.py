@@ -67,6 +67,12 @@ from ..experiments.staleness import (
     update_plane_staleness_rows,
     validate_update_plane,
 )
+from ..experiments.qualitybench import (
+    INTERVAL_SWEEP,
+    QUALITY_LOSS_SWEEP,
+    quality_plane_rows,
+    validate_quality_plane,
+)
 from ..experiments.seriesbench import (
     series_overhead_rows,
     validate_series_overhead,
@@ -150,6 +156,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "queries_per_group": 200,
             "load_rates": (5.0, 20.0, 60.0),
             "load_horizon": 20.0,
+            "quality_intervals": INTERVAL_SWEEP,
+            "quality_loss": QUALITY_LOSS_SWEEP,
         }
     if scale == "quick":
         return {
@@ -162,6 +170,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "queries_per_group": 20,
             "load_rates": (5.0, 20.0, 60.0),
             "load_horizon": 12.0,
+            "quality_intervals": INTERVAL_SWEEP,
+            "quality_loss": QUALITY_LOSS_SWEEP,
         }
     if scale == "smoke":
         return {
@@ -174,6 +184,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "queries_per_group": 8,
             "load_rates": (5.0, 60.0),
             "load_horizon": 6.0,
+            "quality_intervals": (0.5, 1.0, 2.0),
+            "quality_loss": (0.0,),
         }
     if scale == "stress":
         # Single-point sweeps at the per-shard size, plus the shard
@@ -189,6 +201,8 @@ def scale_sweeps(scale: str) -> Dict[str, tuple]:
             "queries_per_group": 8,
             "load_rates": (20.0,),
             "load_horizon": 6.0,
+            "quality_intervals": (0.5, 1.0, 2.0),
+            "quality_loss": (0.0,),
             "shards": int(os.environ.get("REPRO_STRESS_SHARDS", "100")),
             "shard_queries": 4,
         }
@@ -350,6 +364,15 @@ SCENARIOS: Dict[str, Scenario] = {
             validate_series_overhead,
         ),
         Scenario(
+            "quality_plane",
+            "Shadow-oracle quality: update-bytes vs false-positive "
+            "frontier, per-summary attribution, zero perturbation",
+            lambda s, sw: quality_plane_rows(
+                s, sw["quality_intervals"], sw["quality_loss"]
+            ),
+            validate_quality_plane,
+        ),
+        Scenario(
             "stress",
             "Sharded federation stress: 10^5 servers / 10^6 records "
             "through the process-pool runner",
@@ -454,8 +477,10 @@ def _instrumented_block(
     tel = Telemetry(capacity=capacity)
     if profiler is not None:
         tel.attach_profiler(profiler)
+    # Quality plane on: the canonical profile carries the quality.audit
+    # frames the hotspot regression gate polices.
     system, tel, root_id = instrumented_query_run(
-        settings, seed, use_overlay=True, telemetry=tel
+        settings, seed, use_overlay=True, telemetry=tel, quality=True
     )
     update_report = system.refresh()
     num_queries = settings.num_queries

@@ -377,6 +377,9 @@ def _cmd_watch(args) -> int:
             service_time=args.service_time, queue_limit=args.queue_limit
         )
     )
+    # Shadow-oracle quality plane: read-only, so watching it is free of
+    # perturbation; its quality.* gauges ride the same sampler.
+    system.attach_quality()
     system.update_plane.start()
     sampler = SeriesSampler(
         system, SeriesConfig(interval=args.sample_interval)
@@ -433,6 +436,120 @@ def _cmd_watch(args) -> int:
     say(f"postmortems captured: {len(recorder.bundles)}")
     for path in recorder.dumped:
         say(f"  postmortem bundle written to {path}")
+    return 0
+
+
+def _cmd_quality(args) -> int:
+    """Run a federation under load with the shadow-oracle quality plane
+    armed; print the answer-quality summary and per-node breakdown."""
+    from .experiments.report import format_table
+    from .net.transport import ServiceConfig
+    from .roads import RoadsConfig, RoadsSystem
+    from .roads.load import LoadConfig, LoadGenerator
+    from .roads.search import RetryPolicy
+    from .sim.rng import SeedSequenceFactory
+    from .telemetry import HealthProbe, HealthSLO, Telemetry
+    from .workload import WorkloadConfig, generate_node_stores
+    from .workload.queries import generate_queries
+
+    say = _narrator(args.json)
+    wcfg = WorkloadConfig(
+        num_nodes=args.nodes, records_per_node=args.records, seed=args.seed
+    )
+    stores = generate_node_stores(wcfg)
+    config = RoadsConfig(
+        num_nodes=args.nodes,
+        records_per_node=args.records,
+        summary_interval=args.interval,
+        delta_updates=True,
+        loss_rate=args.loss,
+        seed=args.seed,
+    )
+    tel = Telemetry()
+    system = RoadsSystem.build(config, stores, telemetry=tel)
+    system.enable_service(
+        ServiceConfig(
+            service_time=args.service_time, queue_limit=args.queue_limit
+        )
+    )
+    plane = system.attach_quality()
+    system.update_plane.start()
+    slo = (
+        HealthSLO(min_precision=args.min_precision)
+        if args.min_precision is not None
+        else None
+    )
+    probe = HealthProbe(
+        system, interval=0.5, stale_after=1.5 * args.interval, slo=slo
+    ).start()
+    queries = generate_queries(wcfg, num_queries=max(args.queries, 1))
+    seeds = SeedSequenceFactory(args.seed)
+    gen = LoadGenerator(
+        system,
+        queries,
+        LoadConfig(
+            rate=args.rate,
+            horizon=args.duration,
+            retry=RetryPolicy(timeout=2.0, retries=2, backoff_base=0.2),
+        ),
+        seeds.fresh_generator("quality-load"),
+    )
+    report_load = gen.run()
+    probe.stop()
+    snap = plane.snapshot()
+    say(
+        f"load: {report_load.offered} queries offered at {args.rate}/s, "
+        f"{report_load.ok} ok, {report_load.shed_queries} shed"
+    )
+    say(
+        f"oracle: {snap['audits']} searches audited — "
+        f"precision {snap['precision']:.4f}, recall {snap['recall']:.4f}, "
+        f"fp-rate {snap['fp_rate']:.4f}, "
+        f"mean divergence age {snap['divergence_age_mean']:.3g}s"
+    )
+    say(
+        f"confusion: tp={snap['tp']} fp={snap['fp']} "
+        f"fn={snap['fn']} tn={snap['tn']}; owner contacts "
+        f"{snap['owner_hits']} justified / "
+        f"{snap['owner_false_positives']} false-positive"
+    )
+    node_rows = [
+        {
+            "server": sid,
+            "tp": counts["tp"],
+            "fp": counts["fp"],
+            "fn": counts["fn"],
+            "tn": counts["tn"],
+        }
+        for sid, counts in sorted(plane.per_node.items())
+        if counts["fp"] or counts["fn"]
+    ][: args.top]
+    if node_rows:
+        say("servers with misjudged visits/prunes (worst first):")
+        node_rows.sort(key=lambda r: -(r["fp"] + r["fn"]))
+        say(format_table(node_rows))
+    attributions = [
+        a.to_dict() for rep in plane.reports for a in rep.attributions
+    ]
+    if attributions:
+        say(f"divergence attributions ({len(attributions)} total, "
+            f"showing up to {args.top}):")
+        say(format_table(attributions[: args.top]))
+    if args.json:
+        _emit_json(
+            {
+                "snapshot": snap,
+                "per_node": {
+                    str(sid): counts
+                    for sid, counts in sorted(plane.per_node.items())
+                },
+                "reports": [r.to_dict() for r in plane.reports],
+            },
+            args.json,
+            "quality report JSON",
+        )
+    if args.min_precision is not None:
+        return 0 if snap["precision"] >= args.min_precision else 1
     return 0
 
 
@@ -805,8 +922,9 @@ def _demo_telemetry(args) -> int:
 def _common_options() -> argparse.ArgumentParser:
     """Parent parser for the flags every artifact-producing verb shares.
 
-    ``bench run``, ``profile``, ``trace``, ``watch`` and ``postmortem``
-    all inherit ``--scale/--seed/--out/--json`` from this one parser,
+    ``bench run``, ``profile``, ``trace``, ``watch``, ``quality`` and
+    ``postmortem`` inherit ``--scale/--seed/--out/--json`` from this
+    one parser,
     so a new verb cannot re-declare them with drifting defaults. Verbs
     consume the subset that applies to them (``trace`` and
     ``postmortem`` read existing artifacts, so ``--scale/--seed`` are
@@ -947,6 +1065,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--postmortem-dir", metavar="DIR", default=None,
                    help="dump SLO-breach postmortem bundles under DIR")
     p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "quality",
+        parents=[common],
+        help="run a federation under load with the shadow-oracle quality "
+             "plane armed; print precision/recall and per-summary "
+             "divergence attributions",
+    )
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--records", type=int, default=40)
+    p.add_argument("--queries", type=int, default=30,
+                   help="size of the query pool offered as load")
+    p.add_argument("--rate", type=float, default=20.0,
+                   help="offered load, queries per virtual second")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="arrival-window length in virtual seconds")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="injected message loss rate")
+    p.add_argument("--interval", type=float, default=5.0,
+                   help="summary update interval (t_s) in virtual seconds")
+    p.add_argument("--service-time", type=float, default=0.002)
+    p.add_argument("--queue-limit", type=int, default=64)
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the per-node / attribution tables")
+    p.add_argument("--min-precision", type=float, default=None,
+                   help="judge oracle precision against this SLO floor "
+                        "(non-zero exit below it)")
+    p.set_defaults(fn=_cmd_quality)
 
     p = sub.add_parser(
         "postmortem",

@@ -146,6 +146,7 @@ class QueryExecution:
         telemetry: Optional[Telemetry] = None,
         on_complete: Optional[Callable[[QueryOutcome], None]] = None,
         trace_parent: Optional[TraceContext] = None,
+        quality=None,
     ):
         self.sim = sim
         self.network = network
@@ -176,6 +177,9 @@ class QueryExecution:
         #: causal parent the root context forks from (a widening search
         #: passes its umbrella context so all rounds share one trace)
         self._trace_parent = trace_parent
+        #: the system's shadow-oracle quality plane, when attached; used
+        #: only for the ground-truthed owner false-positive verdict
+        self._quality = quality
         self._root_ctx: Optional[TraceContext] = None
         self.outcome = QueryOutcome(
             query=query, start_server=start_server_id, client_node=client_node
@@ -452,13 +456,23 @@ class QueryExecution:
             return
         self._answered_owners.add(owner.owner_id)
         answered = self.policies.answer(owner.owner_id, self.query, owner.origin)
+        # With the quality plane attached the flag is the oracle verdict:
+        # an empty answer is only a false positive when the raw store
+        # holds no matching record either (the *summary* lied) — a
+        # policy-filtered empty answer was still a justified visit.
+        # Detached, the legacy empty-answer semantics are preserved.
+        false_positive = (
+            self._quality.owner_false_positive(self.query, owner, len(answered))
+            if self._quality is not None
+            else (len(answered) == 0)
+        )
         hit = OwnerHit(
             owner_id=owner.owner_id,
             server_id=at_node,
             arrival_time=arrival,
             match_count=len(answered),
             records=answered if self.collect_records else None,
-            false_positive=(len(answered) == 0),
+            false_positive=false_positive,
         )
         self.outcome.owner_hits.append(hit)
         self._trace(

@@ -133,6 +133,9 @@ class SearchResult:
     submitted_at: float = 0.0
     #: virtual time the query fully resolved (fan-out and timeouts)
     finished_at: float = 0.0
+    #: shadow-oracle verdict (``QualityReport``) when the system has a
+    #: quality plane attached; ``None`` otherwise
+    quality: Optional[object] = None
 
     @property
     def client_node(self) -> int:

@@ -81,6 +81,9 @@ class RoadsSystem:
         #: :meth:`refresh` lazily creates one for hand-assembled systems
         self.update_plane: Optional[UpdatePlane] = None
         self.maintenance: Optional[MaintenanceProtocol] = None
+        #: the shadow-oracle quality plane (:meth:`attach_quality`);
+        #: strictly read-only — attaching it never perturbs the sim
+        self.quality = None
         self._rng = np.random.default_rng(config.seed)
         self.last_update_report: Optional[UpdateRoundReport] = None
         # guest owner -> current attachment server id
@@ -299,6 +302,36 @@ class RoadsSystem:
             )
         return client, start
 
+    def attach_quality(self, plane=None):
+        """Arm the shadow-oracle quality plane on this system.
+
+        Every completed search is then audited against ground truth
+        recomputed from the authoritative leaf stores and the resulting
+        :class:`~repro.telemetry.quality.QualityReport` rides on the
+        :class:`SearchResult`. The audit only reads state, so the
+        simulated behaviour stays byte-identical per seed.
+        """
+        if plane is None:
+            from ..telemetry.quality import QualityPlane
+
+            plane = QualityPlane(self)
+        self.quality = plane
+        return plane
+
+    def _audit_quality(self, request, outcome):
+        """Run the oracle audit (if armed) under its own profiler frame."""
+        if self.quality is None:
+            return None
+        tel = self.telemetry
+        prof = tel.profiler if tel is not None else None
+        if prof is not None:
+            prof.enter("quality.audit")
+        try:
+            return self.quality.audit(request, outcome)
+        finally:
+            if prof is not None:
+                prof.exit()
+
     def _make_execution(
         self,
         request: SearchRequest,
@@ -326,6 +359,7 @@ class RoadsSystem:
             telemetry=self.telemetry,
             on_complete=on_complete,
             trace_parent=trace_parent,
+            quality=self.quality,
         )
 
     def search(
@@ -384,6 +418,7 @@ class RoadsSystem:
             outcome=outcome,
             submitted_at=submitted,
             finished_at=self.sim.now,
+            quality=self._audit_quality(request, outcome),
         )
 
     def submit(
@@ -414,6 +449,7 @@ class RoadsSystem:
                 outcome=outcome,
                 submitted_at=submitted,
                 finished_at=self.sim.now,
+                quality=self._audit_quality(request, outcome),
             )
             pending.result = result
             self.metrics.registry.observe(

@@ -75,6 +75,7 @@ from .probes import (
     HealthSample,
     judge_sample,
 )
+from .quality import DivergenceAttribution, QualityPlane, QualityReport
 from .recorder import FlightRecorder, PostmortemBundle
 from .report import per_server_load_rows, root_load_share
 from .series import (
@@ -140,6 +141,9 @@ __all__ = [
     "write_series_jsonl",
     "FlightRecorder",
     "PostmortemBundle",
+    "QualityPlane",
+    "QualityReport",
+    "DivergenceAttribution",
     "CallPathProfiler",
     "PROFILE_SCHEMA",
     "census_fingerprint",

@@ -50,6 +50,10 @@ class HealthSample:
     stale_fraction: float
     #: fraction of expected overlay replicas actually held (1.0 = full)
     coverage: float
+    #: shadow-oracle answer quality (1.0 when no quality plane is armed
+    #: or nothing has been audited yet)
+    precision: float = 1.0
+    recall: float = 1.0
 
     def to_dict(self) -> Dict[str, float]:
         return {
@@ -67,6 +71,8 @@ class HealthSample:
             "summary_age_max": self.summary_age_max,
             "stale_fraction": self.stale_fraction,
             "coverage": self.coverage,
+            "precision": self.precision,
+            "recall": self.recall,
         }
 
 
@@ -84,6 +90,10 @@ class HealthSLO:
     max_loss_fraction: float = 0.10
     #: deepest acceptable single service queue (None = don't judge)
     max_queue_depth: Optional[int] = None
+    #: lowest acceptable shadow-oracle precision/recall (None = don't
+    #: judge; only meaningful when the system has a quality plane)
+    min_precision: Optional[float] = None
+    min_recall: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -207,6 +217,26 @@ def judge_sample(
                 detail=f"deepest single service queue at t={sample.t:.2f}s",
             )
         )
+    if slo.min_precision is not None:
+        checks.append(
+            HealthCheck(
+                name="precision",
+                ok=sample.precision >= slo.min_precision,
+                value=sample.precision,
+                threshold=slo.min_precision,
+                detail=f"oracle precision at t={sample.t:.2f}s",
+            )
+        )
+    if slo.min_recall is not None:
+        checks.append(
+            HealthCheck(
+                name="recall",
+                ok=sample.recall >= slo.min_recall,
+                value=sample.recall,
+                threshold=slo.min_recall,
+                detail=f"oracle recall at t={sample.t:.2f}s",
+            )
+        )
     return checks
 
 
@@ -315,6 +345,7 @@ class HealthProbe:
             )
         else:
             stale = {}
+        quality = getattr(system, "quality", None)
         sample = HealthSample(
             t=system.sim.now,
             queue_depth_total=depth_total,
@@ -330,6 +361,10 @@ class HealthProbe:
             summary_age_max=stale.get("age_max", 0.0),
             stale_fraction=stale.get("stale_fraction", 0.0),
             coverage=self._coverage(),
+            precision=(
+                quality.precision if quality is not None else 1.0
+            ),
+            recall=quality.recall if quality is not None else 1.0,
         )
         self.samples.append(sample)
         tel = system.telemetry
@@ -425,6 +460,28 @@ class HealthProbe:
                     value=float(worst_depth),
                     threshold=float(slo.max_queue_depth),
                     detail="deepest single service queue across samples",
+                )
+            )
+        if slo.min_precision is not None:
+            worst_precision = min(s.precision for s in samples)
+            checks.append(
+                HealthCheck(
+                    name="precision",
+                    ok=worst_precision >= slo.min_precision,
+                    value=worst_precision,
+                    threshold=slo.min_precision,
+                    detail="worst oracle precision across samples",
+                )
+            )
+        if slo.min_recall is not None:
+            worst_recall = min(s.recall for s in samples)
+            checks.append(
+                HealthCheck(
+                    name="recall",
+                    ok=worst_recall >= slo.min_recall,
+                    value=worst_recall,
+                    threshold=slo.min_recall,
+                    detail="worst oracle recall across samples",
                 )
             )
         return HealthReport(

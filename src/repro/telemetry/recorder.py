@@ -69,6 +69,10 @@ class PostmortemBundle:
     #: causal trace trees overlapping the window:
     #: ``{"trace_id": id, "events": [...]}``
     traces: List[Dict[str, object]] = field(default_factory=list)
+    #: shadow-oracle evidence at trigger time (cumulative snapshot plus
+    #: the last audited query's full ``QualityReport`` with per-summary
+    #: divergence attributions); None when no quality plane is armed
+    quality: Optional[Dict[str, object]] = None
 
     # -- round-trip ----------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -82,6 +86,7 @@ class PostmortemBundle:
             "series": self.series,
             "rings": self.rings,
             "traces": self.traces,
+            "quality": self.quality,
         }
 
     @classmethod
@@ -97,6 +102,7 @@ class PostmortemBundle:
             series=list(d.get("series", [])),
             rings=list(d.get("rings", [])),
             traces=list(d.get("traces", [])),
+            quality=d.get("quality"),
         )
 
     def dump(self, path) -> Path:
@@ -158,6 +164,26 @@ class PostmortemBundle:
             shown += 1
         if not shown:
             lines.append("  (no series captured in the breach window)")
+        if self.quality:
+            snap = self.quality.get("snapshot", {})
+            lines.append(
+                "  answer quality: "
+                f"precision={float(snap.get('precision', 1.0)):.4g} "
+                f"recall={float(snap.get('recall', 1.0)):.4g} "
+                f"fp={int(snap.get('fp', 0))} fn={int(snap.get('fn', 0))} "
+                f"over {int(snap.get('audits', 0))} audits"
+            )
+            last = self.quality.get("last_report") or {}
+            for a in last.get("attributions", [])[:5]:
+                age = a.get("staleness_age")
+                lines.append(
+                    f"    {a.get('kind')}: server {a.get('server_id')} via "
+                    f"{a.get('table')}[{a.get('src_id')}] @ holder "
+                    f"{a.get('holder_id')} (L{a.get('holder_level')}), "
+                    f"dim={a.get('dimension')}, "
+                    f"age={age if age is None else format(float(age), '.3g')}"
+                    f", {a.get('reason')}"
+                )
         lines.append(
             f"  event rings: {len(self.rings)} rings, "
             f"{self.ring_events} events"
@@ -262,8 +288,15 @@ class FlightRecorder:
     def _on_breach(self, check, sample) -> None:
         probe = getattr(self, "_probe", None)
         report = None
+        quality = None
         if probe is not None and probe.slo is not None:
             report = probe.report(probe.slo).to_dict()
+        if probe is not None:
+            plane = getattr(probe.system, "quality", None)
+            if plane is not None:
+                # The misrouted query's causal trace is already frozen by
+                # trigger(); this pins the oracle verdict next to it.
+                quality = plane.breach_evidence()
         self.trigger(
             f"slo:{check.name}",
             check={
@@ -274,6 +307,7 @@ class FlightRecorder:
                 "detail": check.detail,
             },
             report=report,
+            quality=quality,
         )
 
     # -- capture --------------------------------------------------------------------
@@ -283,6 +317,7 @@ class FlightRecorder:
         *,
         check: Optional[Dict[str, object]] = None,
         report: Optional[Dict[str, object]] = None,
+        quality: Optional[Dict[str, object]] = None,
     ) -> PostmortemBundle:
         """Freeze the current evidence window into a bundle."""
         now = self.telemetry.now
@@ -332,6 +367,7 @@ class FlightRecorder:
             series=series,
             rings=rings,
             traces=traces,
+            quality=quality,
         )
         self.bundles.append(bundle)
         self._captured += 1

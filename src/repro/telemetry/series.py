@@ -331,6 +331,20 @@ class SeriesSampler:
                 record("service.shed", sid).append(now, stats["shed"])
         record("service.depth_total").append(now, depth_total)
         record("service.waiting_total").append(now, waiting_total)
+        quality = getattr(system, "quality", None)
+        if quality is not None:
+            record("quality.audits").append(now, quality.audits)
+            record("quality.precision").append(now, quality.precision)
+            record("quality.recall").append(now, quality.recall)
+            record("quality.fp_rate").append(now, quality.fp_rate)
+            record("quality.divergence_age").append(
+                now, quality.divergence_age_mean
+            )
+            if self.config.per_server:
+                for sid in sorted(quality.per_node):
+                    counts = quality.per_node[sid]
+                    record("quality.fp", sid).append(now, counts["fp"])
+                    record("quality.fn", sid).append(now, counts["fn"])
         self.samples += 1
 
     # -- export --------------------------------------------------------------------

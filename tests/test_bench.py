@@ -163,6 +163,9 @@ class TestArtifactIO:
         assert back.metrics == overlay_artifact.metrics
         assert back.config_fingerprint == overlay_artifact.config_fingerprint
 
+    def test_quality_plane_artifact_stem(self):
+        assert artifact_filename("quality_plane") == "BENCH_quality.json"
+
     def test_validate_flags_problems(self, overlay_artifact):
         doc = overlay_artifact.to_dict()
         assert validate_artifact(doc) == []

@@ -382,3 +382,101 @@ class TestPostmortemCLI:
         assert rc == 0
         out = capsys.readouterr().out
         assert '"reason": "slo:loss"' in out
+
+
+class TestWatchQualityRows:
+    """The watch dashboard samples and renders both the dispatcher's
+    per-kind gauges and the shadow oracle's quality gauges."""
+
+    def test_dispatch_and_quality_sparklines(self, capsys):
+        rc = main([
+            "watch", "--nodes", "16", "--records", "20",
+            "--queries", "10", "--rate", "20", "--duration", "2",
+            "--seed", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dispatch.query" in out
+        assert "dispatch.summary-full" in out
+        assert "quality.precision" in out
+        assert "quality.audits" in out
+        assert "quality.fp_rate" in out
+
+
+class TestQualityCLI:
+    """`repro quality` arms the shadow oracle under load and reports
+    precision/recall plus per-summary divergence attributions."""
+
+    def _run(self, extra):
+        return main([
+            "quality", "--nodes", "16", "--records", "20",
+            "--queries", "10", "--rate", "20", "--duration", "2",
+            "--interval", "1.0", "--loss", "0.2", "--seed", "4",
+        ] + extra)
+
+    def test_summary_tables(self, capsys):
+        rc = self._run([])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle:" in out and "precision" in out
+        assert "confusion:" in out
+
+    def test_bare_json_is_clean_stdout_with_stderr_narration(
+        self, capsys
+    ):
+        rc = self._run(["--json"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout is pure JSON
+        assert {"snapshot", "per_node", "reports"} <= set(doc)
+        assert doc["snapshot"]["audits"] > 0
+        for report in doc["reports"]:
+            assert len(report["attributions"]) == (
+                report["fp"] + report["fn"]
+            )
+        assert "oracle:" in captured.err  # narration rerouted
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "quality.json"
+        rc = self._run(["--json", str(target)])
+        assert rc == 0
+        doc = json.loads(target.read_text())
+        assert doc["snapshot"]["audits"] > 0
+        assert "quality report JSON written to" in capsys.readouterr().out
+
+    def test_min_precision_gate(self, capsys):
+        # precision can never exceed 1.0, so this SLO floor must fail
+        assert self._run(["--min-precision", "1.01"]) == 1
+        capsys.readouterr()
+
+
+class TestSharedParentParser:
+    """Every observability verb inherits --scale/--seed/--out/--json
+    from the one parent parser — same defaults, same bare-flag JSON."""
+
+    CASES = {
+        "trace": ["trace", "events.jsonl"],
+        "watch": ["watch"],
+        "quality": ["quality"],
+        "postmortem": ["postmortem", "some/dir"],
+        "profile": ["profile", "overlay"],
+        "bench run": ["bench", "run", "overlay"],
+    }
+
+    @pytest.mark.parametrize("verb", sorted(CASES))
+    def test_shared_defaults(self, verb):
+        args = build_parser().parse_args(self.CASES[verb])
+        assert args.scale == "quick"
+        assert args.seed == 1
+        assert args.out == "."
+        assert args.json is None
+
+    @pytest.mark.parametrize("verb", sorted(CASES))
+    def test_bare_json_means_stdout(self, verb):
+        args = build_parser().parse_args(self.CASES[verb] + ["--json"])
+        assert args.json == "-"
+        args = build_parser().parse_args(
+            self.CASES[verb] + ["--json", "doc.json", "--seed", "9"]
+        )
+        assert args.json == "doc.json"
+        assert args.seed == 9
